@@ -1,0 +1,275 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation, plus ablation
+// benchmarks for the substrate layers DESIGN.md calls out. Each figure
+// benchmark runs its experiment at a reduced but representative setting;
+// the cmd/ tools run the full sweeps.
+
+import (
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/elab"
+	"repro/internal/experiments"
+	"repro/internal/lts"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// --- Sect. 3: noninterference results ---
+
+func BenchmarkNoninterferenceRPCSimplified(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RPCNoninterferenceSimplified()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Transparent {
+			b.Fatal("expected interference")
+		}
+	}
+}
+
+func BenchmarkNoninterferenceRPCRevised(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RPCNoninterferenceRevised()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Transparent {
+			b.Fatal("expected transparency")
+		}
+	}
+}
+
+func BenchmarkNoninterferenceStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.StreamingNoninterference(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Transparent {
+			b.Fatal("expected transparency")
+		}
+	}
+}
+
+// --- Fig. 3: rpc performance comparison ---
+
+func BenchmarkFig3Markov(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3Markov([]float64{0.5, 5, 25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3General(b *testing.B) {
+	settings := core.SimSettings{RunLength: 2000, Replications: 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3General([]float64{2, 10, 20}, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 4: streaming Markovian comparison ---
+
+func BenchmarkFig4Markov(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4Markov([]float64{50, 400}, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 5: validation of the general rpc model ---
+
+func BenchmarkFig5Validation(b *testing.B) {
+	settings := core.SimSettings{RunLength: 2000, Replications: 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5Validation([]float64{5}, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 6: general streaming model ---
+
+func BenchmarkFig6General(b *testing.B) {
+	settings := core.SimSettings{RunLength: 20000, Warmup: 5000, Replications: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6General([]float64{100}, experiments.Quick, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 7/8: trade-off curves ---
+
+func BenchmarkFig7Tradeoff(b *testing.B) {
+	settings := core.SimSettings{RunLength: 2000, Replications: 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7Tradeoff([]float64{1, 10, 20}, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Tradeoff(b *testing.B) {
+	settings := core.SimSettings{RunLength: 20000, Warmup: 5000, Replications: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8Tradeoff([]float64{100, 400}, experiments.Quick, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: substrate layers ---
+
+// BenchmarkLTSGeneration measures explicit state-space generation on the
+// full-size Markovian streaming model (~50k states).
+func BenchmarkLTSGeneration(b *testing.B) {
+	p := models.DefaultStreamingParams()
+	a, err := models.BuildStreaming(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lts.Generate(m, lts.GenerateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeakBisim measures the weak-bisimulation check behind the
+// streaming noninterference analysis (tau-SCC condensation + signature
+// refinement).
+func BenchmarkWeakBisim(b *testing.B) {
+	p := models.DefaultStreamingParams()
+	p.Mode = models.Functional
+	p.APCapacity, p.ClientCapacity = 2, 2
+	a, err := models.BuildStreaming(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	high := lts.LabelMatcherByNames(models.StreamingHighLabels()...)
+	low := lts.LabelMatcherByInstance("C")
+	notLow := func(s string) bool { return !low(s) }
+	hidden := lts.Hide(l, notLow)
+	restricted := lts.Hide(lts.Restrict(l, high), notLow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := bisim.Equivalent(hidden, restricted, bisim.Weak); !ok {
+			b.Fatal("expected equivalence")
+		}
+	}
+}
+
+// BenchmarkCTMCSolve measures chain extraction plus steady-state solution
+// on the Markovian rpc model.
+func BenchmarkCTMCSolve(b *testing.B) {
+	p := models.DefaultRPCParams()
+	a, err := models.BuildRPCRevised(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain, err := ctmc.Build(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chain.SteadyState(ctmc.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEvents measures raw GSMP event throughput on the
+// general rpc model.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	p := models.DefaultRPCParams()
+	p.ShutdownTimeout = 5
+	a, err := models.BuildRPCRevised(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dists := models.RPCGeneralDistributions(p)
+	measures := models.RPCMeasures(p)
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Model:         m,
+			Distributions: dists,
+			Measures:      measures,
+			RunLength:     1000,
+			Replications:  1,
+			Seed:          uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkPolicyComparison runs the DPM-policy ablation (trivial vs
+// timeout vs predictive vs none) on the Markovian rpc model.
+func BenchmarkPolicyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PolicyComparison(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatteryLifetime runs the transient battery-lifetime extension
+// (uniformization-based cumulative rewards) across all policies.
+func BenchmarkBatteryLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BatteryLifetime(1000, 5, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStartupTransient runs the streaming start-up transient
+// extension (incremental uniformization on the Quick-scale chain).
+func BenchmarkStartupTransient(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.StreamingStartupTransient(
+			[]float64{100, 500, 2000}, 100, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

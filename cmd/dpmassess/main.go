@@ -1,0 +1,422 @@
+// Command dpmassess runs the incremental DPM-assessment methodology on a
+// textual .aem architectural description.
+//
+// Usage:
+//
+//	dpmassess lts      [-dot out.dot] [-max N] model.aem
+//	dpmassess check    -high INST -low INST [-high-labels l1,l2] model.aem
+//	dpmassess solve    -measures spec.msr model.aem
+//	dpmassess sim      -measures spec.msr [-runlength T] [-warmup T]
+//	                   [-reps N] [-seed S] model.aem
+//	dpmassess equiv    [-relation strong|weak|markovian] a.aem b.aem
+//	dpmassess minimize [-relation strong|weak|markovian] [-dot out.dot] model.aem
+//	dpmassess mc       -formula 'EXISTS_WEAK_TRANS(...)' [-hide-except INST] model.aem
+//
+// The check subcommand performs the phase-1 noninterference analysis
+// (hide-vs-restrict up to weak bisimulation) and prints the diagnostic
+// distinguishing formula on failure. solve performs the phase-2 Markovian
+// analysis: it extracts and solves the CTMC and evaluates the measures
+// defined in the companion-language file. sim estimates the same measures
+// by discrete-event simulation (exponential durations from the model's
+// rates; use the Go API for general distributions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/aemilia/parser"
+	"repro/internal/bisim"
+	"repro/internal/core"
+	"repro/internal/elab"
+	"repro/internal/hml"
+	"repro/internal/lts"
+	"repro/internal/measure"
+	"repro/internal/noninterference"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dpmassess:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: dpmassess <lts|check|solve|sim> [flags] model.aem")
+	}
+	switch args[0] {
+	case "lts":
+		return runLTS(args[1:])
+	case "check":
+		return runCheck(args[1:])
+	case "solve":
+		return runSolve(args[1:])
+	case "sim":
+		return runSim(args[1:])
+	case "equiv":
+		return runEquiv(args[1:])
+	case "minimize":
+		return runMinimize(args[1:])
+	case "mc":
+		return runMC(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// runMC model-checks a diagnostic formula against a model's initial
+// state: the closing step of the paper's repair loop, where the formula
+// emitted by a failed noninterference check is re-checked against a
+// candidate fix. The -hide flag applies the same observation window the
+// transparency check uses (everything but the low instance becomes tau).
+func runMC(args []string) error {
+	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
+	formulaText := fs.String("formula", "", "formula in TwoTowers diagnostic syntax")
+	hideExcept := fs.String("hide-except", "", "hide every label not involving this instance (observation window)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := positional(fs)
+	if err != nil {
+		return err
+	}
+	if *formulaText == "" {
+		return fmt.Errorf("-formula is required")
+	}
+	f, err := hml.Parse(*formulaText)
+	if err != nil {
+		return err
+	}
+	l, err := loadLTS(path)
+	if err != nil {
+		return err
+	}
+	if *hideExcept != "" {
+		low := lts.LabelMatcherByInstance(*hideExcept)
+		l = lts.Hide(l, func(label string) bool { return !low(label) })
+	}
+	checker := hml.NewChecker(l)
+	if checker.Sat(l.Initial, f) {
+		fmt.Println("verdict: SATISFIED in the initial state")
+	} else {
+		fmt.Println("verdict: NOT satisfied in the initial state")
+	}
+	return nil
+}
+
+// runEquiv compares two models up to the chosen equivalence and prints a
+// distinguishing formula on failure.
+func runEquiv(args []string) error {
+	fs := flag.NewFlagSet("equiv", flag.ContinueOnError)
+	relName := fs.String("relation", "weak", "equivalence relation (strong, weak, markovian)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("equiv expects two model files")
+	}
+	l1, err := loadLTS(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	l2, err := loadLTS(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	switch *relName {
+	case "markovian":
+		if bisim.MarkovianEquivalent(l1, l2) {
+			fmt.Println("verdict: MARKOVIAN BISIMILAR (lumping-equivalent)")
+		} else {
+			fmt.Println("verdict: NOT Markovian bisimilar")
+		}
+		return nil
+	case "strong", "weak":
+		rel := bisim.Weak
+		if *relName == "strong" {
+			rel = bisim.Strong
+		}
+		ok, f := bisim.Equivalent(l1, l2, rel)
+		if ok {
+			fmt.Printf("verdict: %s BISIMILAR\n", strings.ToUpper(*relName))
+			return nil
+		}
+		fmt.Printf("verdict: NOT %s bisimilar\n", *relName)
+		fmt.Println("distinguishing formula (holds in the first model, fails in the second):")
+		fmt.Println("  " + hml.Format(f))
+		return nil
+	default:
+		return fmt.Errorf("unknown relation %q", *relName)
+	}
+}
+
+// runMinimize reduces a model's state space by the chosen equivalence and
+// reports the compression.
+func runMinimize(args []string) error {
+	fs := flag.NewFlagSet("minimize", flag.ContinueOnError)
+	relName := fs.String("relation", "weak", "equivalence relation (strong, weak, markovian)")
+	dotPath := fs.String("dot", "", "write the quotient in Graphviz DOT format")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := positional(fs)
+	if err != nil {
+		return err
+	}
+	l, err := loadLTS(path)
+	if err != nil {
+		return err
+	}
+	var m *lts.LTS
+	switch *relName {
+	case "markovian":
+		m = bisim.Lump(l)
+	case "strong":
+		m = bisim.Minimize(l, bisim.Strong)
+	case "weak":
+		m = bisim.Minimize(l, bisim.Weak)
+	default:
+		return fmt.Errorf("unknown relation %q", *relName)
+	}
+	fmt.Printf("original: %d states, %d transitions\n", l.NumStates, l.NumTransitions())
+	fmt.Printf("quotient: %d states, %d transitions (%.1f%% of original states)\n",
+		m.NumStates, m.NumTransitions(), 100*float64(m.NumStates)/float64(l.NumStates))
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := lts.WriteDOT(f, m, path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+	return nil
+}
+
+// loadLTS parses a model file and generates its state space.
+func loadLTS(path string) (*lts.LTS, error) {
+	m, err := loadModel(path)
+	if err != nil {
+		return nil, err
+	}
+	return lts.Generate(m, lts.GenerateOptions{})
+}
+
+func loadModel(path string) (*elab.Model, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	return elab.Elaborate(arch)
+}
+
+func positional(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one model file, got %d arguments", fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+func runLTS(args []string) error {
+	fs := flag.NewFlagSet("lts", flag.ContinueOnError)
+	dotPath := fs.String("dot", "", "write the state space in Graphviz DOT format")
+	autPath := fs.String("aut", "", "write the state space in Aldebaran (CADP) format")
+	maxStates := fs.Int("max", 0, "abort beyond this many states (0 = default bound)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := positional(fs)
+	if err != nil {
+		return err
+	}
+	m, err := loadModel(path)
+	if err != nil {
+		return err
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{
+		MaxStates:        *maxStates,
+		KeepDescriptions: *dotPath != "",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("states:      %d\n", l.NumStates)
+	fmt.Printf("transitions: %d\n", l.NumTransitions())
+	fmt.Printf("labels:      %d\n", len(l.Labels))
+	if dl := l.Deadlocks(); len(dl) > 0 {
+		fmt.Printf("deadlocks:   %d\n", len(dl))
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := lts.WriteDOT(f, l, path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+	if *autPath != "" {
+		f, err := os.Create(*autPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := lts.WriteAUT(f, l); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *autPath)
+	}
+	return nil
+}
+
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	high := fs.String("high", "", "high instance (its synchronizations are the power commands)")
+	low := fs.String("low", "", "low instance (its actions are the observables)")
+	highLabels := fs.String("high-labels", "", "comma-separated explicit high labels (overrides -high)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := positional(fs)
+	if err != nil {
+		return err
+	}
+	if *high == "" && *highLabels == "" {
+		return fmt.Errorf("one of -high or -high-labels is required")
+	}
+	if *low == "" {
+		return fmt.Errorf("-low is required")
+	}
+	m, err := loadModel(path)
+	if err != nil {
+		return err
+	}
+	spec := noninterference.Spec{Low: lts.LabelMatcherByInstance(*low)}
+	if *highLabels != "" {
+		spec.High = lts.LabelMatcherByNames(strings.Split(*highLabels, ",")...)
+	} else {
+		spec.High = lts.LabelMatcherByInstance(*high)
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		return err
+	}
+	res, err := noninterference.Check(l, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("states:            %d\n", l.NumStates)
+	fmt.Printf("hidden variant:    %d states\n", res.HiddenStates)
+	fmt.Printf("restricted variant: %d states\n", res.RestrictedStates)
+	if res.Transparent {
+		fmt.Println("verdict: NONINTERFERENCE HOLDS (the high component is transparent)")
+		return nil
+	}
+	fmt.Println("verdict: INTERFERENCE DETECTED")
+	fmt.Println("distinguishing formula (holds with the high component hidden, fails with it disabled):")
+	fmt.Println("  " + res.FormulaText)
+	return nil
+}
+
+func readMeasures(path string) ([]measure.Measure, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return measure.Parse(string(src))
+}
+
+func runSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	measuresPath := fs.String("measures", "", "measure definition file (companion language)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := positional(fs)
+	if err != nil {
+		return err
+	}
+	if *measuresPath == "" {
+		return fmt.Errorf("-measures is required")
+	}
+	ms, err := readMeasures(*measuresPath)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	arch, err := parser.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	rep, err := core.Phase2(arch, ms, lts.GenerateOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("states: %d (tangible %d, vanishing %d)\n", rep.States, rep.Tangible, rep.Vanishing)
+	for _, m := range ms {
+		fmt.Printf("%-24s %.8g\n", m.Name, rep.Values[m.Name])
+	}
+	return nil
+}
+
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	measuresPath := fs.String("measures", "", "measure definition file (companion language)")
+	runLength := fs.Float64("runlength", 10000, "measured model time per replication")
+	warmup := fs.Float64("warmup", 0, "discarded warm-up time")
+	reps := fs.Int("reps", 30, "independent replications")
+	seed := fs.Uint64("seed", 1, "master random seed")
+	level := fs.Float64("confidence", 0.90, "confidence level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := positional(fs)
+	if err != nil {
+		return err
+	}
+	if *measuresPath == "" {
+		return fmt.Errorf("-measures is required")
+	}
+	ms, err := readMeasures(*measuresPath)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	arch, err := parser.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	rep, err := core.Phase3(arch, nil, ms, core.SimSettings{
+		RunLength:       *runLength,
+		Warmup:          *warmup,
+		Replications:    *reps,
+		Seed:            *seed,
+		ConfidenceLevel: *level,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replications: %d, events: %d\n", rep.Replications, rep.Events)
+	for _, m := range ms {
+		fmt.Printf("%-24s %v\n", m.Name, rep.Estimates[m.Name])
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command rpcstudy regenerates the rpc results of the paper: the Sect. 3.1
+// noninterference verdicts with the diagnostic formula, the Markovian
+// comparison of Fig. 3 (left), the general-model comparison of Fig. 3
+// (right), the cross-validation of Fig. 5, and the energy/waiting-time
+// trade-off of Fig. 7.
+//
+// Usage:
+//
+//	rpcstudy [-experiment all|sect3|fig3markov|fig3general|fig5|fig7]
+//	         [-csv] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rpcstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rpcstudy", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "which experiment to run (all, sect3, fig3markov, fig3general, fig5, fig7, policies, battery)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	quick := fs.Bool("quick", false, "shorter simulations (smoke run)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	settings := core.SimSettings{}
+	if *quick {
+		settings = core.SimSettings{RunLength: 4000, Replications: 8}
+	}
+	render := experiments.FormatTable
+	if *csv {
+		render = experiments.FormatCSV
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("sect3") {
+		fmt.Println("== Sect. 3.1: noninterference ==")
+		simplified, err := experiments.RPCNoninterferenceSimplified()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simplified rpc (%d states): transparent=%t\n", simplified.States, simplified.Transparent)
+		if !simplified.Transparent {
+			fmt.Println("distinguishing formula:")
+			fmt.Println("  " + simplified.Formula)
+		}
+		revised, err := experiments.RPCNoninterferenceRevised()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("revised rpc (%d states): transparent=%t\n\n", revised.States, revised.Transparent)
+	}
+
+	if want("fig3markov") {
+		fmt.Println("== Fig. 3 (left): Markovian rpc comparison ==")
+		pts, err := experiments.Fig3Markov(nil)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.Fig3Rows(pts)
+		fmt.Println(render(h, rows))
+	}
+
+	if want("fig3general") {
+		fmt.Println("== Fig. 3 (right): general rpc comparison (deterministic timings) ==")
+		pts, err := experiments.Fig3General(nil, settings)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.Fig3Rows(pts)
+		fmt.Println(render(h, rows))
+	}
+
+	if want("fig5") {
+		fmt.Println("== Fig. 5: validation of the general model (exponential durations) ==")
+		pts, err := experiments.Fig5Validation(nil, settings)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.Fig5Rows(pts)
+		fmt.Println(render(h, rows))
+	}
+
+	if want("policies") {
+		fmt.Println("== Extension: DPM policy ablation (Markovian, timeout/period 5 ms) ==")
+		pts, err := experiments.PolicyComparison(5)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.PolicyRows(pts)
+		fmt.Println(render(h, rows))
+	}
+
+	if want("battery") {
+		fmt.Println("== Extension: battery lifetime (transient analysis, budget 5000) ==")
+		pts, err := experiments.BatteryLifetime(5000, 5, 20)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.BatteryRows(pts)
+		fmt.Println(render(h, rows))
+	}
+
+	if want("fig7") {
+		fmt.Println("== Fig. 7: energy/waiting-time trade-off ==")
+		curves, err := experiments.Fig7Tradeoff(nil, settings)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.TradeoffRows(curves, "waiting_time", "energy_per_request")
+		fmt.Println(render(h, rows))
+		if dom := experiments.ParetoDominated(curves.General); len(dom) > 0 {
+			fmt.Printf("Pareto-dominated points on the general curve (timeouts near the idle period): %d\n", len(dom))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunSect3(t *testing.T) {
+	if err := run([]string{"-experiment", "sect3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	if err := run([]string{"-experiment", "policies", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	// Unknown names simply select nothing.
+	if err := run([]string{"-experiment", "nothing"}); err != nil {
+		t.Fatal(err)
+	}
+}

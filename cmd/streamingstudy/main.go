@@ -1,0 +1,101 @@
+// Command streamingstudy regenerates the streaming results of the paper:
+// the Sect. 3.2 noninterference verdict, the Markovian comparison of
+// Fig. 4, the general-model comparison of Fig. 6, and the energy/miss
+// trade-off of Fig. 8.
+//
+// Usage:
+//
+//	streamingstudy [-experiment all|sect3|fig4|fig6|fig8] [-csv] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "streamingstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("streamingstudy", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "which experiment to run (all, sect3, fig4, fig6, fig8, transient)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	quick := fs.Bool("quick", false, "small buffers and shorter simulations (smoke run)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := experiments.Full
+	settings := core.SimSettings{}
+	if *quick {
+		scale = experiments.Quick
+		settings = core.SimSettings{RunLength: 60000, Warmup: 20000, Replications: 5}
+	}
+	render := experiments.FormatTable
+	if *csv {
+		render = experiments.FormatCSV
+	}
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("sect3") {
+		fmt.Println("== Sect. 3.2: noninterference ==")
+		res, err := experiments.StreamingNoninterference(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("streaming (%d states): transparent=%t\n\n", res.States, res.Transparent)
+		if !res.Transparent {
+			fmt.Println("distinguishing formula:")
+			fmt.Println("  " + res.Formula)
+		}
+	}
+
+	if want("fig4") {
+		fmt.Println("== Fig. 4: Markovian streaming comparison ==")
+		pts, err := experiments.Fig4Markov(nil, scale)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.Fig4Rows(pts)
+		fmt.Println(render(h, rows))
+	}
+
+	if want("fig6") {
+		fmt.Println("== Fig. 6: general streaming comparison (CBR video, deadlines) ==")
+		pts, err := experiments.Fig6General(nil, scale, settings)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.Fig4Rows(pts)
+		fmt.Println(render(h, rows))
+	}
+
+	if want("transient") {
+		fmt.Println("== Extension: start-up transient (P[buffer empty](t), awake period 100 ms) ==")
+		pts, err := experiments.StreamingStartupTransient(nil, 100, scale)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.TransientRows(pts)
+		fmt.Println(render(h, rows))
+	}
+
+	if want("fig8") {
+		fmt.Println("== Fig. 8: energy/miss trade-off ==")
+		curves, err := experiments.Fig8Tradeoff(nil, scale, settings)
+		if err != nil {
+			return err
+		}
+		h, rows := experiments.TradeoffRows(curves, "miss_rate", "energy_per_frame")
+		fmt.Println(render(h, rows))
+	}
+	return nil
+}

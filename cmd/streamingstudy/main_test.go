@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSect3Quick(t *testing.T) {
+	if err := run([]string{"-experiment", "sect3", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTransientQuick(t *testing.T) {
+	if err := run([]string{"-experiment", "transient", "-quick", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+}

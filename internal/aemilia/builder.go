@@ -1,0 +1,98 @@
+package aemilia
+
+import (
+	"repro/internal/expr"
+	"repro/internal/rates"
+)
+
+// This file provides terse constructors for assembling architectural
+// descriptions programmatically. The case-study models in internal/models
+// are written against this API; the textual parser produces the same AST.
+
+// NewArchiType assembles an architectural description.
+func NewArchiType(name string, elems []*ElemType, insts []*Instance, atts []Attachment) *ArchiType {
+	return &ArchiType{
+		Name:        name,
+		ElemTypes:   elems,
+		Instances:   insts,
+		Attachments: atts,
+	}
+}
+
+// NewElemType assembles an element type with UNI interactions.
+func NewElemType(name string, inputs, outputs []string, behaviors ...*Behavior) *ElemType {
+	return &ElemType{
+		Name:      name,
+		Behaviors: behaviors,
+		Inputs:    inputs,
+		Outputs:   outputs,
+	}
+}
+
+// NewElemTypePorts assembles an element type with explicit interaction
+// multiplicities (UNI, AND broadcast outputs, OR alternatives).
+func NewElemTypePorts(name string, inputs, outputs []Port, behaviors ...*Behavior) *ElemType {
+	return &ElemType{
+		Name:      name,
+		Behaviors: behaviors,
+		InPorts:   inputs,
+		OutPorts:  outputs,
+	}
+}
+
+// UniPort declares a UNI interaction.
+func UniPort(name string) Port { return Port{Name: name, Mult: Uni} }
+
+// AndPort declares an AND (broadcast) interaction.
+func AndPort(name string) Port { return Port{Name: name, Mult: And} }
+
+// OrPort declares an OR (alternative) interaction.
+func OrPort(name string) Port { return Port{Name: name, Mult: Or} }
+
+// NewBehavior assembles a behaviour equation.
+func NewBehavior(name string, params []Param, body Process) *Behavior {
+	return &Behavior{Name: name, Params: params, Body: body}
+}
+
+// IntParam declares an integer formal parameter.
+func IntParam(name string) Param { return Param{Name: name, Type: expr.TypeInt} }
+
+// BoolParam declares a boolean formal parameter.
+func BoolParam(name string) Param { return Param{Name: name, Type: expr.TypeBool} }
+
+// NewInstance declares an element instance.
+func NewInstance(name, typeName string, args ...expr.Expr) *Instance {
+	return &Instance{Name: name, TypeName: typeName, Args: args}
+}
+
+// Attach declares an attachment from an output interaction to an input
+// interaction.
+func Attach(fromInst, fromPort, toInst, toPort string) Attachment {
+	return Attachment{
+		FromInstance: fromInst, FromPort: fromPort,
+		ToInstance: toInst, ToPort: toPort,
+	}
+}
+
+// Pre builds an action prefix <action, rate> . cont.
+func Pre(action string, r rates.Rate, cont Process) Process {
+	return &Prefix{Act: Action{Name: action, Rate: r}, Cont: cont}
+}
+
+// Ch builds a choice among branches.
+func Ch(branches ...Process) Process {
+	return &Choice{Branches: branches}
+}
+
+// When builds a guarded branch cond(c) -> body.
+func When(c expr.Expr, body Process) Process {
+	return &Guarded{Cond: c, Body: body}
+}
+
+// Invoke builds a behaviour invocation name(args...).
+func Invoke(name string, args ...expr.Expr) Process {
+	return &Call{Name: name, Args: args}
+}
+
+// Halt builds the terminated process.
+func Halt() Process { return &Stop{} }

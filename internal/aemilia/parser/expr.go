@@ -1,0 +1,209 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Expression grammar, lowest precedence first:
+//
+//	expr   := orE
+//	orE    := andE ( "or"  andE )*
+//	andE   := notE ( "and" notE )*
+//	notE   := "not" "("? expr ")"? | cmpE
+//	cmpE   := addE ( ("="|"=="|"!="|"<"|"<="|">"|">=") addE )?
+//	addE   := mulE ( ("+"|"-") mulE )*
+//	mulE   := unE  ( ("*"|"/"|"%") unE )*
+//	unE    := "-" unE | primary
+//	primary:= INT | "true" | "false" | IDENT | "(" expr ")"
+func (p *parser) parseExpr() (expr.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atIdent("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Bin(expr.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atIdent("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Bin(expr.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.atIdent("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Un(expr.OpNot, x), nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (expr.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	var op expr.Op
+	switch {
+	case p.atPunct("=") || p.atPunct("=="):
+		op = expr.OpEq
+	case p.atPunct("!="):
+		op = expr.OpNe
+	case p.atPunct("<"):
+		op = expr.OpLt
+	case p.atPunct("<="):
+		op = expr.OpLe
+	case p.atPunct(">"):
+		op = expr.OpGt
+	case p.atPunct(">="):
+		op = expr.OpGe
+	default:
+		return l, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return expr.Bin(op, l, r), nil
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := expr.OpAdd
+		if p.tok.text == "-" {
+			op = expr.OpSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Bin(op, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") || p.atPunct("%") {
+		var op expr.Op
+		switch p.tok.text {
+		case "*":
+			op = expr.OpMul
+		case "/":
+			op = expr.OpDiv
+		default:
+			op = expr.OpMod
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Bin(op, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.atPunct("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Un(expr.OpNeg, x), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	switch {
+	case p.tok.kind == tokNumber:
+		if strings.ContainsAny(p.tok.text, ".eE") {
+			return nil, p.errf("expected integer literal, found %q", p.tok.text)
+		}
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid integer %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.Int(v), nil
+	case p.atIdent("true"):
+		return expr.Bool(true), p.advance()
+	case p.atIdent("false"):
+		return expr.Bool(false), p.advance()
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return expr.Ref(name), nil
+	case p.atPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("expected expression, found %q", p.tok.text)
+	}
+}

@@ -1,0 +1,58 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/aemilia"
+)
+
+// FuzzParse feeds arbitrary text to the parser: it must never panic, and
+// whenever it accepts an input, the formatted output must parse again to
+// the same normal form.
+func FuzzParse(f *testing.F) {
+	f.Add(paperRPC)
+	f.Add(paramSpec)
+	f.Add(multiPortSpec)
+	f.Add("ARCHI_TYPE X(void) ARCHI_ELEM_TYPES ELEM_TYPE T(void) BEHAVIOR " +
+		"B(void; void) = <a, _> . B() INPUT_INTERACTIONS void OUTPUT_INTERACTIONS void " +
+		"ARCHI_TOPOLOGY ARCHI_ELEM_INSTANCES I : T() END")
+	f.Add("ARCHI_TYPE")
+	f.Add("<<<>>>")
+	f.Add("MEASURE x IS")
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := aemilia.Format(a)
+		b, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Format output of accepted input does not parse: %v\ninput: %q\nformatted:\n%s",
+				err, src, text)
+		}
+		if got := aemilia.Format(b); got != text {
+			t.Fatalf("Format not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, got)
+		}
+	})
+}
+
+// FuzzLexer exercises the tokenizer alone on arbitrary inputs.
+func FuzzLexer(f *testing.F) {
+	f.Add("a bc <x, exp(1.5)> . P() // comment\n cond(n <= 3) -> stop")
+	f.Add(strings.Repeat("(", 100))
+	f.Add("0.5e+3 1e9 3.x .5 _x")
+	f.Fuzz(func(t *testing.T, src string) {
+		lx := newLexer(src)
+		for i := 0; i < 100000; i++ {
+			tok, err := lx.next()
+			if err != nil {
+				return
+			}
+			if tok.kind == tokEOF {
+				return
+			}
+		}
+		t.Fatalf("lexer did not terminate on %q", src)
+	})
+}

@@ -1,0 +1,631 @@
+package parser
+
+import (
+	"strconv"
+
+	"repro/internal/aemilia"
+	"repro/internal/expr"
+	"repro/internal/rates"
+)
+
+// Parse parses an .aem architectural description and validates it.
+func Parse(src string) (*aemilia.ArchiType, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	a, err := p.parseArchiType()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) prime() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) advance() error { return p.prime() }
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.lx.errf(p.tok.line, p.tok.col, format, args...)
+}
+
+// expectIdent consumes a specific keyword.
+func (p *parser) expectIdent(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return p.errf("expected %q, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+// expectPunct consumes a specific punctuation token.
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, found %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) atPunct(s string) bool {
+	return p.tok.kind == tokPunct && p.tok.text == s
+}
+
+func (p *parser) atIdent(s string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == s
+}
+
+// ident consumes and returns an identifier.
+func (p *parser) ident() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// number consumes and returns a numeric literal.
+func (p *parser) number() (float64, error) {
+	neg := false
+	if p.atPunct("-") {
+		neg = true
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+	}
+	if p.tok.kind != tokNumber {
+		return 0, p.errf("expected number, found %q", p.tok.text)
+	}
+	v, err := strconv.ParseFloat(p.tok.text, 64)
+	if err != nil {
+		return 0, p.errf("invalid number %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseArchiType() (*aemilia.ArchiType, error) {
+	if err := p.expectIdent("ARCHI_TYPE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("void"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("ARCHI_ELEM_TYPES"); err != nil {
+		return nil, err
+	}
+	var elems []*aemilia.ElemType
+	for p.atIdent("ELEM_TYPE") {
+		et, err := p.parseElemType()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, et)
+	}
+	if err := p.expectIdent("ARCHI_TOPOLOGY"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("ARCHI_ELEM_INSTANCES"); err != nil {
+		return nil, err
+	}
+	var insts []*aemilia.Instance
+	for {
+		in, err := p.parseInstance()
+		if err != nil {
+			return nil, err
+		}
+		insts = append(insts, in)
+		if p.atPunct(";") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokIdent && isSectionKeyword(p.tok.text) {
+				break
+			}
+			continue
+		}
+		break
+	}
+	var atts []aemilia.Attachment
+	if p.atIdent("ARCHI_ATTACHMENTS") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for p.atIdent("FROM") {
+			at, err := p.parseAttachment()
+			if err != nil {
+				return nil, err
+			}
+			atts = append(atts, at)
+			if p.atPunct(";") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := p.expectIdent("END"); err != nil {
+		return nil, err
+	}
+	return aemilia.NewArchiType(name, elems, insts, atts), nil
+}
+
+func (p *parser) parseElemType() (*aemilia.ElemType, error) {
+	if err := p.expectIdent("ELEM_TYPE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("void"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("BEHAVIOR"); err != nil {
+		return nil, err
+	}
+	var behaviors []*aemilia.Behavior
+	for {
+		b, err := p.parseBehavior()
+		if err != nil {
+			return nil, err
+		}
+		behaviors = append(behaviors, b)
+		if p.atPunct(";") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			// Tolerate a trailing semicolon before the next section.
+			if p.tok.kind == tokIdent && isSectionKeyword(p.tok.text) {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectIdent("INPUT_INTERACTIONS"); err != nil {
+		return nil, err
+	}
+	inputs, err := p.parsePorts()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("OUTPUT_INTERACTIONS"); err != nil {
+		return nil, err
+	}
+	outputs, err := p.parsePorts()
+	if err != nil {
+		return nil, err
+	}
+	return aemilia.NewElemTypePorts(name, inputs, outputs, behaviors...), nil
+}
+
+// parsePorts parses "void" or one or more multiplicity groups:
+// "UNI a; b AND c OR d; e". The list ends at the next section keyword.
+func (p *parser) parsePorts() ([]aemilia.Port, error) {
+	if p.atIdent("void") {
+		return nil, p.advance()
+	}
+	var ports []aemilia.Port
+	for {
+		var mult aemilia.Multiplicity
+		switch {
+		case p.atIdent("UNI"):
+			mult = aemilia.Uni
+		case p.atIdent("AND"):
+			mult = aemilia.And
+		case p.atIdent("OR"):
+			mult = aemilia.Or
+		default:
+			if len(ports) == 0 {
+				return nil, p.errf("expected multiplicity (UNI/AND/OR), found %q", p.tok.text)
+			}
+			return ports, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ports = append(ports, aemilia.Port{Name: name, Mult: mult})
+			if p.atPunct(";") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				// A section keyword after ";" ends the list.
+				if p.tok.kind == tokIdent && isSectionKeyword(p.tok.text) {
+					return ports, nil
+				}
+				// A multiplicity keyword starts a new group.
+				if p.atIdent("UNI") || p.atIdent("AND") || p.atIdent("OR") {
+					break
+				}
+				continue
+			}
+			// Without a separator, a multiplicity keyword still starts a
+			// new group; anything else ends the list.
+			if p.atIdent("UNI") || p.atIdent("AND") || p.atIdent("OR") {
+				break
+			}
+			return ports, nil
+		}
+	}
+}
+
+func isSectionKeyword(s string) bool {
+	switch s {
+	case "INPUT_INTERACTIONS", "OUTPUT_INTERACTIONS", "ELEM_TYPE",
+		"ARCHI_TOPOLOGY", "ARCHI_ELEM_INSTANCES", "ARCHI_ATTACHMENTS", "END":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseBehavior() (*aemilia.Behavior, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var params []aemilia.Param
+	if p.atIdent("void") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			var ty expr.Type
+			switch {
+			case p.atIdent("integer"):
+				ty = expr.TypeInt
+			case p.atIdent("boolean"):
+				ty = expr.TypeBool
+			default:
+				return nil, p.errf("expected parameter type (integer/boolean), found %q", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			pn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, aemilia.Param{Name: pn, Type: ty})
+			if p.atPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("void"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	body, err := p.parseProcess()
+	if err != nil {
+		return nil, err
+	}
+	return aemilia.NewBehavior(name, params, body), nil
+}
+
+func (p *parser) parseProcess() (aemilia.Process, error) {
+	switch {
+	case p.atPunct("<"):
+		return p.parsePrefix()
+	case p.atIdent("choice"):
+		return p.parseChoice()
+	case p.atIdent("cond"):
+		return p.parseGuarded()
+	case p.atIdent("stop"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return aemilia.Halt(), nil
+	case p.tok.kind == tokIdent:
+		return p.parseCall()
+	default:
+		return nil, p.errf("expected process term, found %q", p.tok.text)
+	}
+}
+
+func (p *parser) parsePrefix() (aemilia.Process, error) {
+	if err := p.expectPunct("<"); err != nil {
+		return nil, err
+	}
+	action, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	r := rates.UntimedRate()
+	if p.atPunct(",") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err = p.parseRate()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(">"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	cont, err := p.parseProcess()
+	if err != nil {
+		return nil, err
+	}
+	return aemilia.Pre(action, r, cont), nil
+}
+
+func (p *parser) parseRate() (rates.Rate, error) {
+	switch {
+	case p.atIdent("_"):
+		return rates.UntimedRate(), p.advance()
+	case p.atIdent("exp"):
+		if err := p.advance(); err != nil {
+			return rates.Rate{}, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return rates.Rate{}, err
+		}
+		lam, err := p.number()
+		if err != nil {
+			return rates.Rate{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return rates.Rate{}, err
+		}
+		return rates.ExpRate(lam), nil
+	case p.atIdent("inf"):
+		if err := p.advance(); err != nil {
+			return rates.Rate{}, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return rates.Rate{}, err
+		}
+		prio, err := p.number()
+		if err != nil {
+			return rates.Rate{}, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return rates.Rate{}, err
+		}
+		w, err := p.number()
+		if err != nil {
+			return rates.Rate{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return rates.Rate{}, err
+		}
+		return rates.Inf(int(prio), w), nil
+	case p.atIdent("passive"):
+		if err := p.advance(); err != nil {
+			return rates.Rate{}, err
+		}
+		if p.atPunct("(") {
+			if err := p.advance(); err != nil {
+				return rates.Rate{}, err
+			}
+			w, err := p.number()
+			if err != nil {
+				return rates.Rate{}, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return rates.Rate{}, err
+			}
+			return rates.PassiveWeight(w), nil
+		}
+		return rates.PassiveRate(), nil
+	default:
+		return rates.Rate{}, p.errf("expected rate (_ / exp / inf / passive), found %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseChoice() (aemilia.Process, error) {
+	if err := p.expectIdent("choice"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var branches []aemilia.Process
+	for {
+		br, err := p.parseProcess()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, br)
+		if p.atPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return aemilia.Ch(branches...), nil
+}
+
+func (p *parser) parseGuarded() (aemilia.Process, error) {
+	if err := p.expectIdent("cond"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseProcess()
+	if err != nil {
+		return nil, err
+	}
+	return aemilia.When(cond, body), nil
+}
+
+func (p *parser) parseCall() (aemilia.Process, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return aemilia.Invoke(name, args...), nil
+}
+
+// parseArgs parses "void" or a comma-separated expression list, stopping
+// before the closing parenthesis.
+func (p *parser) parseArgs() ([]expr.Expr, error) {
+	if p.atIdent("void") {
+		return nil, p.advance()
+	}
+	if p.atPunct(")") {
+		return nil, nil
+	}
+	var args []expr.Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.atPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return args, nil
+	}
+}
+
+func (p *parser) parseInstance() (*aemilia.Instance, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return aemilia.NewInstance(name, typeName, args...), nil
+}
+
+func (p *parser) parseAttachment() (aemilia.Attachment, error) {
+	var at aemilia.Attachment
+	if err := p.expectIdent("FROM"); err != nil {
+		return at, err
+	}
+	fi, err := p.ident()
+	if err != nil {
+		return at, err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return at, err
+	}
+	fp, err := p.ident()
+	if err != nil {
+		return at, err
+	}
+	if err := p.expectIdent("TO"); err != nil {
+		return at, err
+	}
+	ti, err := p.ident()
+	if err != nil {
+		return at, err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return at, err
+	}
+	tp, err := p.ident()
+	if err != nil {
+		return at, err
+	}
+	return aemilia.Attach(fi, fp, ti, tp), nil
+}

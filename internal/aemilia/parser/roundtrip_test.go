@@ -1,0 +1,237 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aemilia"
+	"repro/internal/elab"
+	"repro/internal/expr"
+	"repro/internal/lts"
+	"repro/internal/rates"
+)
+
+// genExpr builds a random integer expression over the given parameters.
+func genExpr(r *rand.Rand, params []aemilia.Param, depth int) expr.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if len(params) > 0 && r.Intn(2) == 0 {
+			for _, p := range params {
+				if p.Type == expr.TypeInt {
+					return expr.Ref(p.Name)
+				}
+			}
+		}
+		return expr.Int(int64(r.Intn(5)))
+	}
+	ops := []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul}
+	return expr.Bin(ops[r.Intn(len(ops))],
+		genExpr(r, params, depth-1), genExpr(r, params, depth-1))
+}
+
+// genGuard builds a random boolean guard over the given parameters.
+func genGuard(r *rand.Rand, params []aemilia.Param) expr.Expr {
+	ops := []expr.Op{expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpEq, expr.OpNe}
+	g := expr.Bin(ops[r.Intn(len(ops))], genExpr(r, params, 1), genExpr(r, params, 1))
+	if r.Intn(4) == 0 {
+		g = expr.Un(expr.OpNot, g)
+	}
+	if r.Intn(4) == 0 {
+		g = expr.Bin(expr.OpAnd, g, genGuard0(r, params))
+	}
+	return g
+}
+
+func genGuard0(r *rand.Rand, params []aemilia.Param) expr.Expr {
+	return expr.Bin(expr.OpGe, genExpr(r, params, 1), expr.Int(0))
+}
+
+// genRate picks a random rate annotation.
+func genRate(r *rand.Rand) rates.Rate {
+	switch r.Intn(4) {
+	case 0:
+		return rates.UntimedRate()
+	case 1:
+		return rates.ExpRate(0.25 * float64(1+r.Intn(8)))
+	case 2:
+		return rates.Inf(r.Intn(3), float64(1+r.Intn(4)))
+	default:
+		if r.Intn(2) == 0 {
+			return rates.PassiveRate()
+		}
+		return rates.PassiveWeight(float64(1 + r.Intn(3)))
+	}
+}
+
+// genProcess builds a random guarded process over the behaviours and
+// actions of one element type.
+func genProcess(r *rand.Rand, behaviors []string, actions []string,
+	params []aemilia.Param, depth int) aemilia.Process {
+	mkCall := func() aemilia.Process {
+		name := behaviors[r.Intn(len(behaviors))]
+		args := make([]expr.Expr, len(params))
+		for i := range params {
+			args[i] = genExpr(r, params, 1)
+		}
+		return aemilia.Invoke(name, args...)
+	}
+	mkPrefix := func(cont aemilia.Process) aemilia.Process {
+		return aemilia.Pre(actions[r.Intn(len(actions))], genRate(r), cont)
+	}
+	if depth <= 0 {
+		if r.Intn(8) == 0 {
+			return mkPrefix(aemilia.Halt())
+		}
+		return mkPrefix(mkCall())
+	}
+	switch r.Intn(3) {
+	case 0: // nested prefixes
+		return mkPrefix(mkPrefix(mkCall()))
+	case 1: // plain prefix
+		return mkPrefix(genProcessCont(r, behaviors, actions, params, depth-1, mkCall))
+	default: // choice with optional guards
+		n := 2 + r.Intn(2)
+		branches := make([]aemilia.Process, n)
+		for i := range branches {
+			br := mkPrefix(genProcessCont(r, behaviors, actions, params, depth-1, mkCall))
+			if len(params) > 0 && r.Intn(2) == 0 {
+				br = aemilia.When(genGuard(r, params), br)
+			}
+			branches[i] = br
+		}
+		return aemilia.Ch(branches...)
+	}
+}
+
+func genProcessCont(r *rand.Rand, behaviors, actions []string,
+	params []aemilia.Param, depth int, mkCall func() aemilia.Process) aemilia.Process {
+	if depth <= 0 || r.Intn(2) == 0 {
+		return mkCall()
+	}
+	return genProcess(r, behaviors, actions, params, depth-1)
+}
+
+// genArchiType builds a random valid closed architectural description:
+// every instance's interactions are fully attached in a ring topology.
+func genArchiType(r *rand.Rand, id int) *aemilia.ArchiType {
+	numTypes := 1 + r.Intn(3)
+	var elems []*aemilia.ElemType
+	for ti := 0; ti < numTypes; ti++ {
+		var params []aemilia.Param
+		if r.Intn(2) == 0 {
+			params = []aemilia.Param{aemilia.IntParam("n")}
+		}
+		numBeh := 1 + r.Intn(3)
+		names := make([]string, numBeh)
+		for bi := range names {
+			names[bi] = fmt.Sprintf("B%d_%d", ti, bi)
+		}
+		actions := []string{
+			fmt.Sprintf("in%d", ti), fmt.Sprintf("out%d", ti), fmt.Sprintf("work%d", ti),
+		}
+		behaviors := make([]*aemilia.Behavior, numBeh)
+		for bi := range behaviors {
+			// Every behaviour of a type shares the parameter list so any
+			// invocation is arity-correct.
+			behaviors[bi] = aemilia.NewBehavior(names[bi], params,
+				genProcess(r, names, actions, params, 1+r.Intn(2)))
+		}
+		elems = append(elems, aemilia.NewElemType(
+			fmt.Sprintf("T%d", ti),
+			[]string{fmt.Sprintf("in%d", ti)},
+			[]string{fmt.Sprintf("out%d", ti)},
+			behaviors...))
+	}
+	// A ring of instances: out_i -> in_{i+1}.
+	numInst := numTypes
+	insts := make([]*aemilia.Instance, numInst)
+	for i := 0; i < numInst; i++ {
+		ti := i % numTypes
+		var args []expr.Expr
+		if len(elems[ti].Behaviors[0].Params) == 1 {
+			args = []expr.Expr{expr.Int(int64(r.Intn(3)))}
+		}
+		insts[i] = aemilia.NewInstance(fmt.Sprintf("I%d", i), fmt.Sprintf("T%d", ti), args...)
+	}
+	var atts []aemilia.Attachment
+	if numInst > 1 {
+		for i := 0; i < numInst; i++ {
+			j := (i + 1) % numInst
+			ti, tj := i%numTypes, j%numTypes
+			atts = append(atts, aemilia.Attach(
+				fmt.Sprintf("I%d", i), fmt.Sprintf("out%d", ti),
+				fmt.Sprintf("I%d", j), fmt.Sprintf("in%d", tj)))
+		}
+	}
+	return aemilia.NewArchiType(fmt.Sprintf("Random%d", id), elems, insts, atts)
+}
+
+// Property: for every random valid description, Format output parses back
+// and Format is a fixed point of Parse∘Format.
+func TestPropertyFormatParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	accepted := 0
+	for trial := 0; trial < 120; trial++ {
+		a := genArchiType(r, trial)
+		if err := a.Validate(); err != nil {
+			// The generator can produce type-incorrect guards (boolean
+			// parameters are not generated, so this should be rare).
+			continue
+		}
+		accepted++
+		text := aemilia.Format(a)
+		b, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: Format output does not parse: %v\n%s", trial, err, text)
+		}
+		text2 := aemilia.Format(b)
+		if text2 != text {
+			t.Fatalf("trial %d: Format not a fixed point:\n--- first\n%s\n--- second\n%s",
+				trial, text, text2)
+		}
+	}
+	if accepted < 60 {
+		t.Fatalf("generator rejected too many descriptions: %d accepted", accepted)
+	}
+}
+
+// Property: the parsed copy elaborates to the same state space as the
+// original (same size, same initial successors).
+func TestPropertyRoundTripPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		a := genArchiType(r, trial)
+		if err := a.Validate(); err != nil {
+			continue
+		}
+		ma, err := elab.Elaborate(a)
+		if err != nil {
+			continue
+		}
+		la, err := lts.Generate(ma, lts.GenerateOptions{MaxStates: 20000})
+		if err != nil {
+			continue // state explosion or rate clash: fine for this property
+		}
+		b, err := Parse(aemilia.Format(a))
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		mb, err := elab.Elaborate(b)
+		if err != nil {
+			t.Fatalf("trial %d: elaborate parsed copy: %v", trial, err)
+		}
+		lb, err := lts.Generate(mb, lts.GenerateOptions{MaxStates: 20000})
+		if err != nil {
+			t.Fatalf("trial %d: generate parsed copy: %v", trial, err)
+		}
+		if la.NumStates != lb.NumStates || la.NumTransitions() != lb.NumTransitions() {
+			t.Fatalf("trial %d: state space differs: %d/%d vs %d/%d",
+				trial, la.NumStates, la.NumTransitions(), lb.NumStates, lb.NumTransitions())
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("property vacuous: only %d descriptions checked", checked)
+	}
+}

@@ -1,0 +1,151 @@
+package aemilia
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Format renders the description in .aem textual syntax. The output parses
+// back to an equivalent description (see the parser subpackage), which the
+// round-trip tests rely on.
+func Format(a *ArchiType) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ARCHI_TYPE %s(void)\n\n", a.Name)
+	sb.WriteString("ARCHI_ELEM_TYPES\n\n")
+	for _, et := range a.ElemTypes {
+		formatElemType(&sb, et)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("ARCHI_TOPOLOGY\n\n")
+	sb.WriteString("  ARCHI_ELEM_INSTANCES\n")
+	for i, in := range a.Instances {
+		sep := ";"
+		if i == len(a.Instances)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&sb, "    %s : %s(%s)%s\n", in.Name, in.TypeName, formatArgs(in.Args), sep)
+	}
+	sb.WriteString("\n  ARCHI_ATTACHMENTS\n")
+	for i, at := range a.Attachments {
+		sep := ";"
+		if i == len(a.Attachments)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&sb, "    FROM %s.%s TO %s.%s%s\n",
+			at.FromInstance, at.FromPort, at.ToInstance, at.ToPort, sep)
+	}
+	sb.WriteString("\nEND\n")
+	return sb.String()
+}
+
+func formatElemType(sb *strings.Builder, et *ElemType) {
+	fmt.Fprintf(sb, "  ELEM_TYPE %s(void)\n", et.Name)
+	sb.WriteString("    BEHAVIOR\n")
+	for i, b := range et.Behaviors {
+		sep := ";"
+		if i == len(et.Behaviors)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(sb, "      %s(%s; void) =\n", b.Name, formatParams(b.Params))
+		sb.WriteString("        " + formatProcess(b.Body, "        ") + sep + "\n")
+	}
+	sb.WriteString("    INPUT_INTERACTIONS " + formatPorts(et, true) + "\n")
+	sb.WriteString("    OUTPUT_INTERACTIONS " + formatPorts(et, false) + "\n")
+}
+
+func formatPorts(et *ElemType, inputs bool) string {
+	var ports []Port
+	if inputs {
+		if len(et.InPorts) > 0 {
+			ports = et.InPorts
+		} else {
+			for _, n := range et.Inputs {
+				ports = append(ports, Port{Name: n, Mult: Uni})
+			}
+		}
+	} else {
+		if len(et.OutPorts) > 0 {
+			ports = et.OutPorts
+		} else {
+			for _, n := range et.Outputs {
+				ports = append(ports, Port{Name: n, Mult: Uni})
+			}
+		}
+	}
+	if len(ports) == 0 {
+		return "void"
+	}
+	var groups []string
+	i := 0
+	for i < len(ports) {
+		mult := ports[i].Mult
+		if mult == 0 {
+			mult = Uni
+		}
+		var names []string
+		for i < len(ports) {
+			m := ports[i].Mult
+			if m == 0 {
+				m = Uni
+			}
+			if m != mult {
+				break
+			}
+			names = append(names, ports[i].Name)
+			i++
+		}
+		groups = append(groups, mult.String()+" "+strings.Join(names, "; "))
+	}
+	return strings.Join(groups, " ")
+}
+
+func formatParams(ps []Param) string {
+	if len(ps) == 0 {
+		return "void"
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		kind := "integer"
+		if p.Type == expr.TypeBool {
+			kind = "boolean"
+		}
+		parts[i] = kind + " " + p.Name
+	}
+	return strings.Join(parts, ", ")
+}
+
+func formatArgs(args []expr.Expr) string {
+	if len(args) == 0 {
+		return "void"
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func formatProcess(p Process, indent string) string {
+	switch x := p.(type) {
+	case *Stop:
+		return "stop"
+	case *Prefix:
+		return "<" + x.Act.Name + ", " + x.Act.Rate.String() + "> . " +
+			formatProcess(x.Cont, indent)
+	case *Choice:
+		inner := indent + "  "
+		parts := make([]string, len(x.Branches))
+		for i, br := range x.Branches {
+			parts[i] = inner + formatProcess(br, inner)
+		}
+		return "choice {\n" + strings.Join(parts, ",\n") + "\n" + indent + "}"
+	case *Guarded:
+		return "cond(" + x.Cond.String() + ") -> " + formatProcess(x.Body, indent)
+	case *Call:
+		return x.Name + "(" + formatArgs(x.Args) + ")"
+	default:
+		return fmt.Sprintf("<?%T>", p)
+	}
+}

@@ -1,0 +1,409 @@
+// Package bisim implements strong and weak (observational) bisimulation
+// equivalence checking over explicit labelled transition systems, with
+// generation of distinguishing Hennessy–Milner formulas when two systems
+// are not equivalent.
+//
+// Weak bisimilarity is decided as strong bisimilarity of the saturated
+// systems (tau*·a·tau* weak moves, reflexive tau* moves), following
+// Milner. The partition is computed by signature refinement: states are
+// repeatedly split by the multiset of (label, target block) pairs they can
+// weakly reach, with the previous block included in the signature so that
+// each round refines the last. The refinement history supports
+// Cleaveland-style construction of a minimal-depth distinguishing formula.
+package bisim
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/hml"
+	"repro/internal/lts"
+)
+
+// Relation selects the equivalence to check.
+type Relation int
+
+// Supported equivalences.
+const (
+	// Strong requires matching single transitions.
+	Strong Relation = iota + 1
+	// Weak abstracts from tau moves (observational equivalence).
+	Weak
+)
+
+// String returns the relation name.
+func (r Relation) String() string {
+	switch r {
+	case Strong:
+		return "strong"
+	case Weak:
+		return "weak"
+	default:
+		return "unknown"
+	}
+}
+
+// sat is the (possibly saturated) successor structure the refinement
+// operates on: for each state, a map from label index to the sorted set of
+// successor states. Label indices refer to the labels table. For Weak, the
+// tau entry holds the reflexive-transitive closure.
+//
+// For the weak relation the structure is built over the *condensation* of
+// the tau graph: mutually tau-reachable states are weakly bisimilar, so
+// each tau strongly connected component becomes a single node. stateMap
+// maps original LTS states to sat nodes (the identity for Strong).
+type sat struct {
+	n        int
+	labels   []string
+	succ     []map[int32][]int32
+	stateMap []int
+}
+
+// tauSCCs computes the strongly connected components of the tau-only
+// graph (iterative Tarjan) and returns the component id of every state
+// plus the number of components. Component ids are assigned in reverse
+// topological order of the condensation (sources last).
+func tauSCCs(l *lts.LTS) (comp []int, numComp int) {
+	n := l.NumStates
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp = make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	counter := 0
+	type frame struct{ v, ei int }
+	for start := 0; start < n; start++ {
+		if index[start] >= 0 {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			out := l.Out(f.v)
+			advanced := false
+			for f.ei < len(out) {
+				t := out[f.ei]
+				f.ei++
+				if t.Label != lts.TauIndex {
+					continue
+				}
+				w := t.Dst
+				if index[w] < 0 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComp
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+		}
+	}
+	return comp, numComp
+}
+
+// sortDedup sorts a successor set in place and removes duplicates.
+func sortDedup(dsts []int32) []int32 {
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	out := dsts[:0]
+	last := int32(-1)
+	for _, d := range dsts {
+		if d != last {
+			out = append(out, d)
+			last = d
+		}
+	}
+	return out
+}
+
+// saturate builds the successor structure for the chosen relation.
+func saturate(l *lts.LTS, rel Relation) *sat {
+	if rel == Strong {
+		n := l.NumStates
+		s := &sat{n: n, labels: append([]string(nil), l.Labels...)}
+		s.succ = make([]map[int32][]int32, n)
+		s.stateMap = make([]int, n)
+		for i := range s.succ {
+			s.succ[i] = make(map[int32][]int32)
+			s.stateMap[i] = i
+		}
+		for _, t := range l.Transitions {
+			s.succ[t.Src][int32(t.Label)] = append(s.succ[t.Src][int32(t.Label)], int32(t.Dst))
+		}
+		for st := 0; st < n; st++ {
+			for label, dsts := range s.succ[st] {
+				s.succ[st][label] = sortDedup(dsts)
+			}
+		}
+		return s
+	}
+
+	// Weak: collapse tau-SCCs first — mutually tau-reachable states are
+	// weakly bisimilar, and condensation makes the tau graph acyclic,
+	// which keeps the saturated structure tractable.
+	comp, nc := tauSCCs(l)
+	// Condensed edges.
+	type key struct {
+		src   int32
+		label int32
+	}
+	edges := make(map[key]map[int32]bool, nc*2)
+	add := func(src, label, dst int32) {
+		k := key{src: src, label: label}
+		m := edges[k]
+		if m == nil {
+			m = make(map[int32]bool, 2)
+			edges[k] = m
+		}
+		m[dst] = true
+	}
+	for _, t := range l.Transitions {
+		cs, cd := int32(comp[t.Src]), int32(comp[t.Dst])
+		if t.Label == lts.TauIndex {
+			if cs != cd {
+				add(cs, lts.TauIndex, cd)
+			}
+			continue
+		}
+		add(cs, int32(t.Label), cd)
+	}
+
+	// Reflexive-transitive tau closure over the condensation. Tarjan
+	// assigns component ids in reverse topological order, so successors
+	// of c always have ids < c: a single ascending sweep suffices.
+	tauAdj := make([][]int32, nc)
+	for k, dsts := range edges {
+		if k.label != lts.TauIndex {
+			continue
+		}
+		for d := range dsts {
+			tauAdj[k.src] = append(tauAdj[k.src], d)
+		}
+	}
+	closure := make([][]int32, nc)
+	mark := make([]int, nc)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for c := 0; c < nc; c++ {
+		set := []int32{int32(c)}
+		mark[c] = c
+		for _, d := range tauAdj[c] {
+			for _, x := range closure[d] {
+				if mark[x] != c {
+					mark[x] = c
+					set = append(set, x)
+				}
+			}
+		}
+		closure[c] = sortDedup(set)
+	}
+
+	s := &sat{n: nc, labels: append([]string(nil), l.Labels...)}
+	s.succ = make([]map[int32][]int32, nc)
+	for i := range s.succ {
+		s.succ[i] = make(map[int32][]int32)
+	}
+	s.stateMap = make([]int, l.NumStates)
+	for st := range s.stateMap {
+		s.stateMap[st] = comp[st]
+	}
+	// Group visible condensed edges by source for the saturation sweep.
+	visOut := make([]map[int32][]int32, nc)
+	for k, dsts := range edges {
+		if k.label == lts.TauIndex {
+			continue
+		}
+		if visOut[k.src] == nil {
+			visOut[k.src] = make(map[int32][]int32, 2)
+		}
+		for d := range dsts {
+			visOut[k.src][k.label] = append(visOut[k.src][k.label], d)
+		}
+	}
+	for c := 0; c < nc; c++ {
+		s.succ[c][lts.TauIndex] = closure[c]
+		acc := make(map[int32]map[int32]bool, 2)
+		for _, u := range closure[c] {
+			for label, dsts := range visOut[u] {
+				m := acc[label]
+				if m == nil {
+					m = make(map[int32]bool, 4)
+					acc[label] = m
+				}
+				for _, d := range dsts {
+					for _, v := range closure[d] {
+						m[v] = true
+					}
+				}
+			}
+		}
+		for label, set := range acc {
+			out := make([]int32, 0, len(set))
+			for v := range set {
+				out = append(out, v)
+			}
+			s.succ[c][label] = sortDedup(out)
+		}
+	}
+	return s
+}
+
+// refineResult carries the partition and its refinement history.
+type refineResult struct {
+	s *sat
+	// history[k][state] is the block of state after k refinement rounds;
+	// history[0] is the initial one-block partition.
+	history [][]int
+}
+
+// blocks returns the final partition.
+func (r *refineResult) blocks() []int { return r.history[len(r.history)-1] }
+
+// refine runs signature refinement to a fixed point.
+func refine(s *sat) *refineResult {
+	n := s.n
+	cur := make([]int, n) // all states in block 0
+	res := &refineResult{s: s}
+	res.history = append(res.history, append([]int(nil), cur...))
+
+	numBlocks := 1
+	for {
+		sigs := make(map[string]int, numBlocks*2)
+		next := make([]int, n)
+		var sb strings.Builder
+		for st := 0; st < n; st++ {
+			sb.Reset()
+			// Previous block first, so each round refines the last.
+			sb.WriteString(strconv.Itoa(cur[st]))
+			labels := make([]int32, 0, len(s.succ[st]))
+			for label := range s.succ[st] {
+				labels = append(labels, label)
+			}
+			sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+			for _, label := range labels {
+				var blockSet []int
+				seen := make(map[int]bool)
+				for _, d := range s.succ[st][label] {
+					b := cur[d]
+					if !seen[b] {
+						seen[b] = true
+						blockSet = append(blockSet, b)
+					}
+				}
+				sort.Ints(blockSet)
+				sb.WriteByte('|')
+				sb.WriteString(strconv.Itoa(int(label)))
+				sb.WriteByte(':')
+				for _, b := range blockSet {
+					sb.WriteString(strconv.Itoa(b))
+					sb.WriteByte(',')
+				}
+			}
+			key := sb.String()
+			id, ok := sigs[key]
+			if !ok {
+				id = len(sigs)
+				sigs[key] = id
+			}
+			next[st] = id
+		}
+		res.history = append(res.history, append([]int(nil), next...))
+		if len(sigs) == numBlocks {
+			return res
+		}
+		numBlocks = len(sigs)
+		cur = next
+	}
+}
+
+// Partition computes the bisimulation partition of a single LTS: the block
+// identifier of each state. Two states are equivalent iff they share a
+// block.
+func Partition(l *lts.LTS, rel Relation) []int {
+	s := saturate(l, rel)
+	blocks := refine(s).blocks()
+	out := make([]int, l.NumStates)
+	for st := range out {
+		out[st] = blocks[s.stateMap[st]]
+	}
+	return out
+}
+
+// Equivalent checks whether the initial states of two LTSs are bisimilar
+// under the chosen relation. Labels are matched by name. When the systems
+// are not equivalent, a distinguishing formula is returned: it holds in
+// the initial state of l1 and fails in the initial state of l2.
+func Equivalent(l1, l2 *lts.LTS, rel Relation) (bool, hml.Formula) {
+	u, init1, init2 := union(l1, l2)
+	s := saturate(u, rel)
+	res := refine(s)
+	blocks := res.blocks()
+	n1, n2 := s.stateMap[init1], s.stateMap[init2]
+	if blocks[n1] == blocks[n2] {
+		return true, nil
+	}
+	g := &formulaGen{res: res, rel: rel}
+	f := g.dist(n1, n2)
+	return false, f
+}
+
+// union builds the disjoint union of two LTSs with a shared label table.
+func union(l1, l2 *lts.LTS) (u *lts.LTS, init1, init2 int) {
+	u = lts.New(l1.NumStates + l2.NumStates)
+	u.Initial = l1.Initial
+	for _, t := range l1.Transitions {
+		li := lts.TauIndex
+		if t.Label != lts.TauIndex {
+			li = u.LabelIndex(l1.Labels[t.Label])
+		}
+		u.AddTransition(t.Src, t.Dst, li, t.Rate)
+	}
+	off := l1.NumStates
+	for _, t := range l2.Transitions {
+		li := lts.TauIndex
+		if t.Label != lts.TauIndex {
+			li = u.LabelIndex(l2.Labels[t.Label])
+		}
+		u.AddTransition(t.Src+off, t.Dst+off, li, t.Rate)
+	}
+	return u, l1.Initial, l2.Initial + off
+}

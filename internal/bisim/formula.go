@@ -1,0 +1,132 @@
+package bisim
+
+import (
+	"sort"
+
+	"repro/internal/hml"
+)
+
+// formulaGen builds distinguishing formulas from the refinement history,
+// following Cleaveland's construction: two states that separate at round k
+// are distinguished by a modality chosen from the signature difference at
+// round k-1, with subformulas for pairs that separated strictly earlier.
+type formulaGen struct {
+	res *refineResult
+	rel Relation
+}
+
+// sepLevel returns the first refinement round at which s and t occupy
+// different blocks, or -1 if they never separate.
+func (g *formulaGen) sepLevel(s, t int) int {
+	for k, blocks := range g.res.history {
+		if blocks[s] != blocks[t] {
+			return k
+		}
+	}
+	return -1
+}
+
+// sigPair is one element of a state's signature: a label and a reachable
+// block under the partition of a given round.
+type sigPair struct {
+	label int32
+	block int
+}
+
+// sig computes the signature of state st under the partition blocks.
+func (g *formulaGen) sig(st int, blocks []int) map[sigPair]bool {
+	out := make(map[sigPair]bool)
+	for label, dsts := range g.res.s.succ[st] {
+		for _, d := range dsts {
+			out[sigPair{label: label, block: blocks[d]}] = true
+		}
+	}
+	return out
+}
+
+// modality wraps a subformula in the diamond appropriate for the relation.
+func (g *formulaGen) modality(label int32, f hml.Formula) hml.Formula {
+	name := g.res.s.labels[label]
+	if g.rel == Weak {
+		return hml.DiamondWeak{Label: name, F: f}
+	}
+	return hml.Diamond{Label: name, F: f}
+}
+
+// dist returns a formula satisfied by s and not by t. The two states must
+// be in different blocks of the final partition.
+func (g *formulaGen) dist(s, t int) hml.Formula {
+	k := g.sepLevel(s, t)
+	if k <= 0 {
+		// Never separated (should not happen for distinct blocks) — the
+		// weakest honest answer is TRUE.
+		return hml.True{}
+	}
+	prev := g.res.history[k-1]
+	sigS, sigT := g.sig(s, prev), g.sig(t, prev)
+
+	if p, ok := pickMissing(sigS, sigT); ok {
+		return g.positive(s, t, p, prev)
+	}
+	// Signatures differ only by a pair present in t and absent in s:
+	// distinguish t from s and negate.
+	p, ok := pickMissing(sigT, sigS)
+	if !ok {
+		return hml.True{}
+	}
+	return hml.Not{F: g.positive(t, s, p, prev)}
+}
+
+// pickMissing returns a deterministic element of a\b.
+func pickMissing(a, b map[sigPair]bool) (sigPair, bool) {
+	var cands []sigPair
+	for p := range a {
+		if !b[p] {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) == 0 {
+		return sigPair{}, false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].label != cands[j].label {
+			return cands[i].label < cands[j].label
+		}
+		return cands[i].block < cands[j].block
+	})
+	return cands[0], true
+}
+
+// positive builds a formula of the shape <a>( /\ dist(s', t') ) where s
+// has an a-move into block p.block under prev and t has none.
+func (g *formulaGen) positive(s, t int, p sigPair, prev []int) hml.Formula {
+	// Choose the smallest witness successor for determinism.
+	sPrime := -1
+	for _, d := range g.res.s.succ[s][p.label] {
+		if prev[d] == p.block {
+			sPrime = int(d)
+			break
+		}
+	}
+	if sPrime < 0 {
+		return hml.True{}
+	}
+	tSucc := g.res.s.succ[t][p.label]
+	if len(tSucc) == 0 {
+		return g.modality(p.label, hml.True{})
+	}
+	var conj []hml.Formula
+	seen := make(map[string]bool)
+	for _, tPrime := range tSucc {
+		f := g.dist(sPrime, int(tPrime))
+		key := hml.Format(f)
+		if !seen[key] {
+			seen[key] = true
+			conj = append(conj, f)
+		}
+	}
+	if len(conj) == 1 {
+		return g.modality(p.label, conj[0])
+	}
+	return g.modality(p.label, hml.And{Fs: conj})
+}

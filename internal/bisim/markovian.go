@@ -1,0 +1,197 @@
+package bisim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lts"
+	"repro/internal/rates"
+)
+
+// This file implements Markovian bisimulation equivalence (ordinary
+// lumpability of the underlying CTMC): two states are equivalent iff for
+// every action label and every equivalence class, the cumulative
+// exponential rate of moving under that label into that class is the
+// same. Immediate transitions are compared by priority and cumulative
+// weight. The quotient (lumped) chain is exact: solving it yields the
+// same reward values as the original for class-constant rewards.
+
+// markovKey aggregates the quantitative signature of a state's moves
+// toward one (label, block) pair.
+type markovKey struct {
+	label int32
+	block int
+	prio  int // -1 for exponential entries
+}
+
+// MarkovianPartition computes the ordinary-lumpability partition of a
+// rated LTS: states in the same block have identical cumulative rates
+// (per label and target block) and identical immediate branching.
+// Passive and untimed transitions participate with their weights, so the
+// partition is also sound for functional models (where it coincides with
+// strong bisimulation refined by multiplicities).
+func MarkovianPartition(l *lts.LTS) []int {
+	n := l.NumStates
+	cur := make([]int, n)
+	numBlocks := 1
+	for {
+		sigs := make(map[string]int, numBlocks*2)
+		next := make([]int, n)
+		var sb strings.Builder
+		for s := 0; s < n; s++ {
+			sb.Reset()
+			sb.WriteString(strconv.Itoa(cur[s]))
+			acc := make(map[markovKey]float64, 4)
+			for _, t := range l.Out(s) {
+				key := markovKey{label: int32(t.Label), block: cur[t.Dst]}
+				switch t.Rate.Kind {
+				case rates.Exp:
+					key.prio = -1
+					acc[key] += t.Rate.Lambda
+				case rates.Immediate:
+					key.prio = t.Rate.Priority
+					acc[key] += t.Rate.Weight
+				case rates.Passive:
+					key.prio = -2
+					acc[key] += t.Rate.Weight
+				default: // Untimed
+					key.prio = -3
+					acc[key]++
+				}
+			}
+			keys := make([]markovKey, 0, len(acc))
+			for k := range acc {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				a, b := keys[i], keys[j]
+				if a.label != b.label {
+					return a.label < b.label
+				}
+				if a.block != b.block {
+					return a.block < b.block
+				}
+				return a.prio < b.prio
+			})
+			for _, k := range keys {
+				fmt.Fprintf(&sb, "|%d:%d:%d:%.12g", k.label, k.block, k.prio, acc[k])
+			}
+			key := sb.String()
+			id, ok := sigs[key]
+			if !ok {
+				id = len(sigs)
+				sigs[key] = id
+			}
+			next[s] = id
+		}
+		if len(sigs) == numBlocks {
+			return next
+		}
+		numBlocks = len(sigs)
+		cur = next
+	}
+}
+
+// MarkovianEquivalent reports whether the initial states of two rated
+// LTSs are Markovian bisimilar (labels matched by name).
+func MarkovianEquivalent(l1, l2 *lts.LTS) bool {
+	u, init1, init2 := union(l1, l2)
+	blocks := MarkovianPartition(u)
+	return blocks[init1] == blocks[init2]
+}
+
+// Lump returns the quotient of a rated LTS by its Markovian-bisimulation
+// partition: one state per block, with exponential rates and immediate
+// weights accumulated per (label, target block). The lumped chain has the
+// same steady-state measures as the original for any reward that is
+// constant on blocks — and every ENABLED-style predicate recorded in the
+// LTS is constant on blocks only if the predicate distinguishes states;
+// predicates are therefore re-evaluated from any member (they agree on
+// blocks produced from predicate-consistent generation).
+func Lump(l *lts.LTS) *lts.LTS {
+	blocks := MarkovianPartition(l)
+	numBlocks := 0
+	for _, b := range blocks {
+		if b+1 > numBlocks {
+			numBlocks = b + 1
+		}
+	}
+	out := lts.New(numBlocks)
+	out.Initial = blocks[l.Initial]
+
+	// Representative member per block.
+	rep := make([]int, numBlocks)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for s, b := range blocks {
+		if rep[b] < 0 || s < rep[b] {
+			rep[b] = s
+		}
+	}
+
+	type edge struct {
+		label int
+		dst   int
+		prio  int
+	}
+	for b := 0; b < numBlocks; b++ {
+		s := rep[b]
+		expAcc := make(map[edge]float64, 4)
+		immAcc := make(map[edge]float64, 4)
+		pasAcc := make(map[edge]float64, 4)
+		untAcc := make(map[edge]bool, 4)
+		for _, t := range l.Out(s) {
+			li := lts.TauIndex
+			if t.Label != lts.TauIndex {
+				li = out.LabelIndex(l.Labels[t.Label])
+			}
+			e := edge{label: li, dst: blocks[t.Dst]}
+			switch t.Rate.Kind {
+			case rates.Exp:
+				expAcc[e] += t.Rate.Lambda
+			case rates.Immediate:
+				e.prio = t.Rate.Priority
+				immAcc[e] += t.Rate.Weight
+			case rates.Passive:
+				pasAcc[e] += t.Rate.Weight
+			default:
+				untAcc[e] = true
+			}
+		}
+		for e, lam := range expAcc {
+			out.AddTransition(b, e.dst, e.label, rates.ExpRate(lam))
+		}
+		for e, w := range immAcc {
+			out.AddTransition(b, e.dst, e.label, rates.Inf(e.prio, w))
+		}
+		for e, w := range pasAcc {
+			out.AddTransition(b, e.dst, e.label, rates.PassiveWeight(w))
+		}
+		for e := range untAcc {
+			out.AddTransition(b, e.dst, e.label, rates.UntimedRate())
+		}
+	}
+
+	// Carry predicates and descriptions over from representatives.
+	if l.Preds != nil {
+		out.PredNames = l.PredNames
+		out.Preds = make([][]bool, len(l.Preds))
+		for p := range l.Preds {
+			col := make([]bool, numBlocks)
+			for b := 0; b < numBlocks; b++ {
+				col[b] = l.Preds[p][rep[b]]
+			}
+			out.Preds[p] = col
+		}
+	}
+	if l.StateDescs != nil {
+		out.StateDescs = make([]string, numBlocks)
+		for b := 0; b < numBlocks; b++ {
+			out.StateDescs[b] = l.StateDescs[rep[b]]
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package bisim
+
+import (
+	"repro/internal/lts"
+)
+
+// Minimize returns the quotient of the LTS by its bisimulation partition:
+// one state per block, transitions lifted from all members and
+// deduplicated by (label, destination block). Rates are carried over from
+// the first occurrence; minimization is intended for functional models.
+func Minimize(l *lts.LTS, rel Relation) *lts.LTS {
+	blocks := Partition(l, rel)
+	numBlocks := 0
+	for _, b := range blocks {
+		if b+1 > numBlocks {
+			numBlocks = b + 1
+		}
+	}
+	out := lts.New(numBlocks)
+	out.Initial = blocks[l.Initial]
+	type edge struct {
+		src, dst, label int
+	}
+	seen := make(map[edge]bool)
+	for _, t := range l.Transitions {
+		li := lts.TauIndex
+		if t.Label != lts.TauIndex {
+			li = out.LabelIndex(l.Labels[t.Label])
+		}
+		e := edge{src: blocks[t.Src], dst: blocks[t.Dst], label: li}
+		if rel == Weak && li == lts.TauIndex && e.src == e.dst {
+			// Tau self-loops are redundant up to weak bisimulation.
+			continue
+		}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		out.AddTransition(e.src, e.dst, li, t.Rate)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's primary contribution: the
+// incremental methodology of Fig. 1 for assessing the impact of a dynamic
+// power manager on the functionality and the performance of a
+// battery-powered appliance.
+//
+// The methodology has three phases, each consuming the model of the
+// previous one:
+//
+//  1. Functional phase — noninterference analysis of the untimed model:
+//     the DPM must be transparent to the client (Phase1).
+//  2. Markovian phase — the functional model is enriched with
+//     exponentially distributed durations; the resulting CTMC is solved
+//     and reward-based measures are compared with and without the DPM
+//     (Phase2).
+//  3. General phase — exponential delays are replaced by general
+//     distributions; the general model is first validated against the
+//     Markovian one by simulating it with exponential durations
+//     (Validate), then simulated with the realistic durations and
+//     compared with and without the DPM (Phase3).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/aemilia"
+	"repro/internal/ctmc"
+	"repro/internal/dist"
+	"repro/internal/elab"
+	"repro/internal/lts"
+	"repro/internal/measure"
+	"repro/internal/noninterference"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Phase1Report is the outcome of the functional phase.
+type Phase1Report struct {
+	// Result is the noninterference verdict with its diagnostic formula.
+	Result *noninterference.Result
+	// States and Transitions size the generated state space.
+	States, Transitions int
+}
+
+// Phase1 generates the state space of the untimed model and checks that
+// the high actions do not interfere with the low-observable behaviour.
+func Phase1(arch *aemilia.ArchiType, spec noninterference.Spec, opts lts.GenerateOptions) (*Phase1Report, error) {
+	m, err := elab.Elaborate(arch)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	l, err := lts.Generate(m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	res, err := noninterference.Check(l, spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	return &Phase1Report{
+		Result:      res,
+		States:      l.NumStates,
+		Transitions: l.NumTransitions(),
+	}, nil
+}
+
+// Phase2Report is the outcome of the Markovian phase for one model.
+type Phase2Report struct {
+	// Values holds the exact steady-state value of every measure.
+	Values map[string]float64
+	// States, Tangible and Vanishing size the state space and the chain.
+	States, Tangible, Vanishing int
+}
+
+// Phase2 generates the rated model's state space, extracts and solves the
+// CTMC, and evaluates the measures exactly.
+func Phase2(arch *aemilia.ArchiType, measures []measure.Measure, opts lts.GenerateOptions) (*Phase2Report, error) {
+	m, err := elab.Elaborate(arch)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	opts.Predicates = append(opts.Predicates, measure.StatePreds(measures)...)
+	l, err := lts.Generate(m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	chain, err := ctmc.Build(l)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	pi, err := chain.SteadyState(ctmc.SolveOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	values, err := measure.EvalAll(measures, chain, pi)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	return &Phase2Report{
+		Values:    values,
+		States:    l.NumStates,
+		Tangible:  chain.N,
+		Vanishing: chain.NumVanishing(),
+	}, nil
+}
+
+// Phase3Report is the outcome of the general (simulation) phase for one
+// model.
+type Phase3Report struct {
+	// Estimates holds the confidence interval of every measure.
+	Estimates map[string]stats.Interval
+	// Events counts fired transitions across replications.
+	Events int64
+	// Replications is the number of independent runs.
+	Replications int
+}
+
+// SimSettings tunes the simulation runs of the third phase.
+type SimSettings struct {
+	// RunLength is the measured horizon per replication.
+	RunLength float64
+	// Warmup is the discarded start-up time.
+	Warmup float64
+	// Replications is the number of runs (default 30, the paper's choice).
+	Replications int
+	// Seed seeds the master random stream.
+	Seed uint64
+	// ConfidenceLevel of the reported intervals (default 0.90).
+	ConfidenceLevel float64
+}
+
+// Phase3 simulates the model with the given duration overrides and
+// estimates the measures.
+func Phase3(arch *aemilia.ArchiType, dists map[sim.Activity]dist.Distribution,
+	measures []measure.Measure, settings SimSettings) (*Phase3Report, error) {
+	m, err := elab.Elaborate(arch)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 3: %w", err)
+	}
+	res, err := sim.Run(sim.Config{
+		Model:           m,
+		Distributions:   dists,
+		Measures:        measures,
+		RunLength:       settings.RunLength,
+		Warmup:          settings.Warmup,
+		Replications:    settings.Replications,
+		Seed:            settings.Seed,
+		ConfidenceLevel: settings.ConfidenceLevel,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 3: %w", err)
+	}
+	return &Phase3Report{
+		Estimates:    res.Estimates,
+		Events:       res.Events,
+		Replications: res.Replications,
+	}, nil
+}
+
+// MeasureValidation compares one measure across the Markovian solution and
+// the exponential simulation.
+type MeasureValidation struct {
+	// Name is the measure name.
+	Name string
+	// Exact is the CTMC value.
+	Exact float64
+	// Estimate is the simulation confidence interval.
+	Estimate stats.Interval
+	// WithinCI reports whether the exact value lies inside the interval.
+	WithinCI bool
+	// RelError is |mean-exact| / max(|exact|, 1e-12).
+	RelError float64
+}
+
+// ValidationReport is the outcome of the Sect. 5.1 cross-validation.
+type ValidationReport struct {
+	// PerMeasure lists the per-measure comparisons.
+	PerMeasure []MeasureValidation
+	// Consistent is true when every measure is within tolerance: inside
+	// its confidence interval or within the relative-error budget.
+	Consistent bool
+}
+
+// Validate cross-validates a general model against the Markovian one: the
+// caller simulates the model with exponential distributions matching the
+// Markovian rates and passes both results here. relTolerance bounds the
+// accepted relative error when the exact value falls outside the
+// confidence interval (the paper accepts small discretization gaps).
+func Validate(exact *Phase2Report, simulated *Phase3Report, relTolerance float64) *ValidationReport {
+	rep := &ValidationReport{Consistent: true}
+	for name, exactV := range exact.Values {
+		ci, ok := simulated.Estimates[name]
+		if !ok {
+			continue
+		}
+		relErr := math.Abs(ci.Mean-exactV) / math.Max(math.Abs(exactV), 1e-12)
+		mv := MeasureValidation{
+			Name:     name,
+			Exact:    exactV,
+			Estimate: ci,
+			WithinCI: ci.Contains(exactV),
+			RelError: relErr,
+		}
+		if !mv.WithinCI && relErr > relTolerance {
+			rep.Consistent = false
+		}
+		rep.PerMeasure = append(rep.PerMeasure, mv)
+	}
+	return rep
+}

@@ -1,0 +1,271 @@
+// Package ctmc extracts a continuous-time Markov chain from a rated
+// labelled transition system and solves it.
+//
+// States with enabled immediate actions are *vanishing*: by maximal
+// progress the immediate actions pre-empt the exponential ones, the
+// highest priority level wins, and weights resolve the remaining choice
+// probabilistically. Vanishing states are eliminated by propagating their
+// absorption distributions (cycles of immediate actions — timeless traps —
+// are rejected). The result is a CTMC over the tangible states, together
+// with enough bookkeeping to compute the steady-state frequency of any
+// labelled transition, including immediate ones, for reward-based
+// measures.
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lts"
+	"repro/internal/rates"
+)
+
+// Entry is one rate entry of the generator matrix.
+type Entry struct {
+	// Col is the destination tangible-state index.
+	Col int
+	// Rate is the transition rate.
+	Rate float64
+}
+
+// branch is an immediate branch of a vanishing state.
+type branch struct {
+	dst      int // LTS state index
+	prob     float64
+	ltsTrans int // index into the LTS transition slice
+}
+
+// expEdge is an exponential transition of a tangible state.
+type expEdge struct {
+	src, dst int // LTS state indices
+	rate     float64
+	ltsTrans int
+}
+
+// CTMC is the extracted chain.
+type CTMC struct {
+	// N is the number of tangible states.
+	N int
+	// Rows holds the off-diagonal generator entries per tangible state.
+	Rows [][]Entry
+	// Exit is the total outflow rate per tangible state.
+	Exit []float64
+	// Initial is the initial probability distribution over tangible
+	// states (the vanishing initial state, if any, is resolved).
+	Initial []float64
+
+	// TangibleOf maps CTMC indices to LTS state indices.
+	TangibleOf []int
+	// ctmcIndex maps LTS state indices to CTMC indices (-1 = vanishing).
+	ctmcIndex []int
+
+	l *lts.LTS
+	// vanishing bookkeeping for throughput computations.
+	vanishing []int      // LTS indices of vanishing states, topological order
+	branches  [][]branch // per vanishing state (indexed by order position)
+	vanPos    []int      // LTS state -> position in vanishing, or -1
+	expEdges  []expEdge
+}
+
+// Common construction errors.
+var (
+	// ErrTimelessTrap reports a cycle of immediate transitions.
+	ErrTimelessTrap = errors.New("ctmc: timeless trap (cycle of immediate transitions)")
+	// ErrNotRated reports a reachable transition without an active rate in
+	// a tangible state.
+	ErrNotRated = errors.New("ctmc: tangible state has a passive or untimed transition; the model is not fully rated")
+	// ErrMultipleBSCC reports a reducible chain with several reachable
+	// bottom components.
+	ErrMultipleBSCC = errors.New("ctmc: multiple reachable bottom strongly connected components")
+)
+
+// Build extracts the CTMC from a rated LTS.
+func Build(l *lts.LTS) (*CTMC, error) {
+	n := l.NumStates
+	c := &CTMC{l: l}
+
+	// Classify states.
+	isVanishing := make([]bool, n)
+	for s := 0; s < n; s++ {
+		for _, t := range l.Out(s) {
+			if t.Rate.Kind == rates.Immediate {
+				isVanishing[s] = true
+				break
+			}
+		}
+	}
+
+	// Immediate branch structure per vanishing state.
+	c.vanPos = make([]int, n)
+	for i := range c.vanPos {
+		c.vanPos[i] = -1
+	}
+	branchesOf := make(map[int][]branch, 16)
+	for s := 0; s < n; s++ {
+		if !isVanishing[s] {
+			continue
+		}
+		maxPrio := math.MinInt32
+		for _, t := range l.Out(s) {
+			if t.Rate.Kind == rates.Immediate && t.Rate.Priority > maxPrio {
+				maxPrio = t.Rate.Priority
+			}
+		}
+		var brs []branch
+		total := 0.0
+		out := l.Out(s)
+		base := transBase(l, s)
+		for i, t := range out {
+			if t.Rate.Kind == rates.Immediate && t.Rate.Priority == maxPrio {
+				brs = append(brs, branch{dst: t.Dst, prob: t.Rate.Weight, ltsTrans: base + i})
+				total += t.Rate.Weight
+			}
+		}
+		for i := range brs {
+			brs[i].prob /= total
+		}
+		branchesOf[s] = brs
+	}
+
+	// Topological order of the vanishing subgraph (Kahn); a leftover node
+	// means a timeless trap.
+	indeg := make(map[int]int, len(branchesOf))
+	for s := range branchesOf {
+		indeg[s] += 0
+		for _, b := range branchesOf[s] {
+			if isVanishing[b.dst] {
+				indeg[b.dst]++
+			}
+		}
+	}
+	var queue []int
+	for s, d := range indeg {
+		if d == 0 {
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		c.vanPos[s] = len(c.vanishing)
+		c.vanishing = append(c.vanishing, s)
+		c.branches = append(c.branches, branchesOf[s])
+		for _, b := range branchesOf[s] {
+			if isVanishing[b.dst] {
+				indeg[b.dst]--
+				if indeg[b.dst] == 0 {
+					queue = append(queue, b.dst)
+				}
+			}
+		}
+	}
+	if len(c.vanishing) != len(branchesOf) {
+		return nil, ErrTimelessTrap
+	}
+
+	// Absorption distributions of vanishing states over tangible states,
+	// in reverse topological order.
+	absorb := make([]map[int]float64, len(c.vanishing))
+	for i := len(c.vanishing) - 1; i >= 0; i-- {
+		dist := make(map[int]float64, 4)
+		for _, b := range c.branches[i] {
+			if isVanishing[b.dst] {
+				for t, p := range absorb[c.vanPos[b.dst]] {
+					dist[t] += b.prob * p
+				}
+			} else {
+				dist[b.dst] += b.prob
+			}
+		}
+		absorb[i] = dist
+	}
+
+	// Index tangible states.
+	c.ctmcIndex = make([]int, n)
+	for s := 0; s < n; s++ {
+		if isVanishing[s] {
+			c.ctmcIndex[s] = -1
+			continue
+		}
+		c.ctmcIndex[s] = len(c.TangibleOf)
+		c.TangibleOf = append(c.TangibleOf, s)
+	}
+	c.N = len(c.TangibleOf)
+	if c.N == 0 {
+		return nil, ErrTimelessTrap
+	}
+
+	// Generator rows.
+	c.Rows = make([][]Entry, c.N)
+	c.Exit = make([]float64, c.N)
+	for ci, s := range c.TangibleOf {
+		acc := make(map[int]float64, 4)
+		out := l.Out(s)
+		base := transBase(l, s)
+		for i, t := range out {
+			switch t.Rate.Kind {
+			case rates.Exp:
+				c.expEdges = append(c.expEdges, expEdge{
+					src: s, dst: t.Dst, rate: t.Rate.Lambda, ltsTrans: base + i,
+				})
+				if isVanishing[t.Dst] {
+					for tgt, p := range absorb[c.vanPos[t.Dst]] {
+						acc[c.ctmcIndex[tgt]] += t.Rate.Lambda * p
+					}
+				} else {
+					acc[c.ctmcIndex[t.Dst]] += t.Rate.Lambda
+				}
+			case rates.Immediate:
+				// Impossible: s is tangible.
+			default:
+				return nil, fmt.Errorf("%w (state %d, label %q, rate %v)",
+					ErrNotRated, s, l.Labels[t.Label], t.Rate)
+			}
+		}
+		row := make([]Entry, 0, len(acc))
+		for col, rate := range acc {
+			if col == ci {
+				continue // self-loops do not affect the steady state
+			}
+			row = append(row, Entry{Col: col, Rate: rate})
+			c.Exit[ci] += rate
+		}
+		c.Rows[ci] = row
+	}
+
+	// Initial distribution.
+	c.Initial = make([]float64, c.N)
+	if isVanishing[l.Initial] {
+		for t, p := range absorb[c.vanPos[l.Initial]] {
+			c.Initial[c.ctmcIndex[t]] += p
+		}
+	} else {
+		c.Initial[c.ctmcIndex[l.Initial]] = 1
+	}
+	return c, nil
+}
+
+// transBase returns the index of the first transition of state s in the
+// LTS transition slice (transitions are grouped by source).
+func transBase(l *lts.LTS, s int) int {
+	// Transitions are sorted by source state (CSR grouping), so the first
+	// transition of s is found by binary search.
+	lo, hi := 0, len(l.Transitions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.Transitions[mid].Src < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LTSStateOf returns the LTS state index of tangible state ci.
+func (c *CTMC) LTSStateOf(ci int) int { return c.TangibleOf[ci] }
+
+// CTMCIndexOf returns the tangible index of an LTS state, or -1 when the
+// state is vanishing.
+func (c *CTMC) CTMCIndexOf(ltsState int) int { return c.ctmcIndex[ltsState] }

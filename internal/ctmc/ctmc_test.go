@@ -1,0 +1,377 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/lts"
+	"repro/internal/rates"
+)
+
+// mm1k builds the LTS of an M/M/1/K queue: states 0..K, arrivals at rate
+// lambda, services at rate mu.
+func mm1k(k int, lambda, mu float64) *lts.LTS {
+	l := lts.New(k + 1)
+	l.Initial = 0
+	arr := l.LabelIndex("arrive")
+	srv := l.LabelIndex("serve")
+	for n := 0; n < k; n++ {
+		l.AddTransition(n, n+1, arr, rates.ExpRate(lambda))
+	}
+	for n := 1; n <= k; n++ {
+		l.AddTransition(n, n-1, srv, rates.ExpRate(mu))
+	}
+	return l
+}
+
+// analyticMM1K returns the steady-state distribution of M/M/1/K.
+func analyticMM1K(k int, lambda, mu float64) []float64 {
+	rho := lambda / mu
+	pi := make([]float64, k+1)
+	sum := 0.0
+	for n := 0; n <= k; n++ {
+		pi[n] = math.Pow(rho, float64(n))
+		sum += pi[n]
+	}
+	for n := range pi {
+		pi[n] /= sum
+	}
+	return pi
+}
+
+func TestSteadyStateMM1K(t *testing.T) {
+	const k = 8
+	lambda, mu := 2.0, 3.0
+	c, err := Build(mm1k(k, lambda, mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != k+1 {
+		t.Fatalf("N = %d, want %d", c.N, k+1)
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analyticMM1K(k, lambda, mu)
+	for n := 0; n <= k; n++ {
+		ci := c.CTMCIndexOf(n)
+		if math.Abs(pi[ci]-want[n]) > 1e-9 {
+			t.Errorf("pi[%d] = %v, want %v", n, pi[ci], want[n])
+		}
+	}
+}
+
+func TestThroughputMM1K(t *testing.T) {
+	const k = 8
+	lambda, mu := 2.0, 3.0
+	c, err := Build(mm1k(k, lambda, mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analyticMM1K(k, lambda, mu)
+	// Accepted arrival rate = lambda * (1 - P(full)); service throughput
+	// equals it in steady state.
+	acc := lambda * (1 - want[k])
+	gotArr := c.Throughput(pi, func(l string) bool { return l == "arrive" }, nil)
+	gotSrv := c.Throughput(pi, func(l string) bool { return l == "serve" }, nil)
+	if math.Abs(gotArr-acc) > 1e-9 {
+		t.Errorf("arrival throughput = %v, want %v", gotArr, acc)
+	}
+	if math.Abs(gotSrv-acc) > 1e-9 {
+		t.Errorf("service throughput = %v, want %v", gotSrv, acc)
+	}
+	// Weighted throughput doubles with weight 2.
+	gotW := c.Throughput(pi, func(l string) bool { return l == "serve" },
+		func(string) float64 { return 2 })
+	if math.Abs(gotW-2*acc) > 1e-9 {
+		t.Errorf("weighted throughput = %v, want %v", gotW, 2*acc)
+	}
+}
+
+func TestStateReward(t *testing.T) {
+	const k = 4
+	c, err := Build(mm1k(k, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean queue length via state rewards.
+	got := c.StateReward(pi, func(s int) float64 { return float64(s) })
+	want := 0.0
+	for n, p := range analyticMM1K(k, 1, 2) {
+		want += float64(n) * p
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean queue length = %v, want %v", got, want)
+	}
+}
+
+// vanishing chain: t0 -exp(2)-> v0 -imm-> {s1 w=1, s2 w=3}; s1,s2 -exp-> t0.
+func vanishingLTS() *lts.LTS {
+	l := lts.New(4) // 0=t0, 1=v0, 2=s1, 3=s2
+	l.Initial = 0
+	go1 := l.LabelIndex("go")
+	a := l.LabelIndex("pick_a")
+	b := l.LabelIndex("pick_b")
+	back := l.LabelIndex("back")
+	l.AddTransition(0, 1, go1, rates.ExpRate(2))
+	l.AddTransition(1, 2, a, rates.Inf(1, 1))
+	l.AddTransition(1, 3, b, rates.Inf(1, 3))
+	l.AddTransition(2, 0, back, rates.ExpRate(1))
+	l.AddTransition(3, 0, back, rates.ExpRate(1))
+	return l
+}
+
+func TestVanishingElimination(t *testing.T) {
+	c, err := Build(vanishingLTS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 3 {
+		t.Fatalf("tangible states = %d, want 3", c.N)
+	}
+	if c.NumVanishing() != 1 {
+		t.Fatalf("vanishing states = %d, want 1", c.NumVanishing())
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balance: let r = visit rate of t0's departure = pi0*2. s1 gets r/4,
+	// s2 gets 3r/4; mean sojourns: t0 1/2, s1 1, s2 1.
+	// pi ∝ (1/2, 1/4, 3/4) → (2/6, 1/6, 3/6).
+	want := map[int]float64{0: 2.0 / 6, 2: 1.0 / 6, 3: 3.0 / 6}
+	for ltsState, w := range want {
+		ci := c.CTMCIndexOf(ltsState)
+		if ci < 0 {
+			t.Fatalf("state %d unexpectedly vanishing", ltsState)
+		}
+		if math.Abs(pi[ci]-w) > 1e-9 {
+			t.Errorf("pi[%d] = %v, want %v", ltsState, pi[ci], w)
+		}
+	}
+	if c.CTMCIndexOf(1) != -1 {
+		t.Error("state 1 should be vanishing")
+	}
+}
+
+func TestImmediateThroughput(t *testing.T) {
+	c, err := Build(vanishingLTS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry rate into v0 = pi(t0)*2 = (2/6)*2 = 2/3. pick_a fires at 1/4
+	// of that, pick_b at 3/4.
+	gotA := c.Throughput(pi, func(l string) bool { return l == "pick_a" }, nil)
+	gotB := c.Throughput(pi, func(l string) bool { return l == "pick_b" }, nil)
+	if math.Abs(gotA-(2.0/3)*0.25) > 1e-9 {
+		t.Errorf("pick_a throughput = %v, want %v", gotA, (2.0/3)*0.25)
+	}
+	if math.Abs(gotB-(2.0/3)*0.75) > 1e-9 {
+		t.Errorf("pick_b throughput = %v, want %v", gotB, (2.0/3)*0.75)
+	}
+}
+
+func TestImmediatePriorityPreemption(t *testing.T) {
+	// A vanishing state with branches at priorities 1 and 2: only the
+	// higher-priority branch can fire.
+	l := lts.New(3)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("low"), rates.Inf(1, 1))
+	l.AddTransition(0, 2, l.LabelIndex("high"), rates.Inf(2, 1))
+	l.AddTransition(1, 0, l.LabelIndex("back1"), rates.ExpRate(1))
+	l.AddTransition(2, 0, l.LabelIndex("back2"), rates.ExpRate(1))
+	c, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial distribution resolves entirely to state 2.
+	if got := c.Initial[c.CTMCIndexOf(2)]; math.Abs(got-1) > 1e-12 {
+		t.Errorf("initial mass at 2 = %v, want 1", got)
+	}
+	if got := c.Initial[c.CTMCIndexOf(1)]; got != 0 {
+		t.Errorf("initial mass at 1 = %v, want 0", got)
+	}
+}
+
+func TestImmediateChainElimination(t *testing.T) {
+	// v0 -imm-> v1 -imm-> tangible: chains of vanishing states resolve.
+	l := lts.New(4)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("a"), rates.Inf(1, 1))
+	l.AddTransition(1, 2, l.LabelIndex("b"), rates.Inf(1, 1))
+	l.AddTransition(2, 3, l.LabelIndex("c"), rates.ExpRate(5))
+	l.AddTransition(3, 2, l.LabelIndex("d"), rates.ExpRate(5))
+	c, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 2 {
+		t.Fatalf("N = %d, want 2", c.N)
+	}
+	if got := c.Initial[c.CTMCIndexOf(2)]; math.Abs(got-1) > 1e-12 {
+		t.Errorf("initial mass = %v, want 1 at state 2", got)
+	}
+}
+
+func TestTimelessTrap(t *testing.T) {
+	l := lts.New(2)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("a"), rates.Inf(1, 1))
+	l.AddTransition(1, 0, l.LabelIndex("b"), rates.Inf(1, 1))
+	_, err := Build(l)
+	if !errors.Is(err, ErrTimelessTrap) {
+		t.Fatalf("want ErrTimelessTrap, got %v", err)
+	}
+}
+
+func TestNotRated(t *testing.T) {
+	l := lts.New(2)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("a"), rates.PassiveRate())
+	_, err := Build(l)
+	if !errors.Is(err, ErrNotRated) {
+		t.Fatalf("want ErrNotRated, got %v", err)
+	}
+}
+
+func TestMultipleBSCCRejected(t *testing.T) {
+	l := lts.New(3)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("a"), rates.ExpRate(1))
+	l.AddTransition(0, 2, l.LabelIndex("b"), rates.ExpRate(1))
+	// 1 and 2 are absorbing.
+	c, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SteadyState(SolveOptions{}); !errors.Is(err, ErrMultipleBSCC) {
+		t.Fatalf("want ErrMultipleBSCC, got %v", err)
+	}
+}
+
+func TestAbsorbingSteadyState(t *testing.T) {
+	// Transient start, single absorbing state.
+	l := lts.New(2)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("die"), rates.ExpRate(3))
+	c, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[c.CTMCIndexOf(1)]-1) > 1e-12 {
+		t.Errorf("absorbing state mass = %v, want 1", pi[c.CTMCIndexOf(1)])
+	}
+}
+
+func TestReducibleTransientPart(t *testing.T) {
+	// 0 -> 1 <-> 2: state 0 transient, BSCC {1,2}.
+	l := lts.New(3)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("enter"), rates.ExpRate(1))
+	l.AddTransition(1, 2, l.LabelIndex("f"), rates.ExpRate(2))
+	l.AddTransition(2, 1, l.LabelIndex("g"), rates.ExpRate(4))
+	c, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[c.CTMCIndexOf(0)] != 0 {
+		t.Errorf("transient state has mass %v", pi[c.CTMCIndexOf(0)])
+	}
+	// Balance: pi1*2 = pi2*4 → pi1 = 2/3, pi2 = 1/3.
+	if math.Abs(pi[c.CTMCIndexOf(1)]-2.0/3) > 1e-9 {
+		t.Errorf("pi1 = %v, want 2/3", pi[c.CTMCIndexOf(1)])
+	}
+}
+
+func TestTransientExponentialDecay(t *testing.T) {
+	l := lts.New(2)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("die"), rates.ExpRate(1))
+	c, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.1, 0.5, 1, 2, 5} {
+		p := c.Transient(tt, 1e-12)
+		want := math.Exp(-tt)
+		if math.Abs(p[c.CTMCIndexOf(0)]-want) > 1e-6 {
+			t.Errorf("P0(%v) = %v, want %v", tt, p[c.CTMCIndexOf(0)], want)
+		}
+	}
+	// t=0 returns the initial distribution.
+	p := c.Transient(0, 1e-12)
+	if p[c.CTMCIndexOf(0)] != 1 {
+		t.Errorf("P0(0) = %v, want 1", p[c.CTMCIndexOf(0)])
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	c, err := Build(mm1k(4, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := c.Transient(200, 1e-12)
+	for i := range pi {
+		if math.Abs(pt[i]-pi[i]) > 1e-6 {
+			t.Errorf("transient(200)[%d] = %v, steady = %v", i, pt[i], pi[i])
+		}
+	}
+}
+
+func TestMeanExitRate(t *testing.T) {
+	c, err := Build(mm1k(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two states, each with exit rate 1.
+	if got := c.MeanExitRate(pi); math.Abs(got-1) > 1e-9 {
+		t.Errorf("MeanExitRate = %v, want 1", got)
+	}
+	if c.NumExpEdges() != 2 {
+		t.Errorf("NumExpEdges = %d, want 2", c.NumExpEdges())
+	}
+}
+
+func TestDeadlockStateAllowed(t *testing.T) {
+	// A deadlocked (absorbing, no transitions) tangible state is fine.
+	l := lts.New(2)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("end"), rates.ExpRate(1))
+	c, err := Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Exit[c.CTMCIndexOf(1)] != 0 {
+		t.Error("absorbing state should have zero exit rate")
+	}
+}

@@ -1,0 +1,175 @@
+package ctmc
+
+import "math"
+
+// StateReward computes the steady-state expectation of a state reward
+// defined on LTS states: sum over tangible states of pi(s)·reward(ltsState).
+// Vanishing states carry no probability mass (they are left in zero time).
+func (c *CTMC) StateReward(pi []float64, reward func(ltsState int) float64) float64 {
+	total := 0.0
+	for ci, p := range pi {
+		if p > 0 {
+			total += p * reward(c.TangibleOf[ci])
+		}
+	}
+	return total
+}
+
+// Throughput computes the steady-state frequency (firings per unit time)
+// of the LTS transitions selected by match, weighted by weight. Both
+// exponential and immediate transitions are supported: the frequency of an
+// immediate transition is derived from the entry rate of its vanishing
+// source state, propagated through the immediate branching probabilities.
+func (c *CTMC) Throughput(pi []float64, match func(label string) bool, weight func(label string) float64) float64 {
+	if weight == nil {
+		weight = func(string) float64 { return 1 }
+	}
+	total := 0.0
+
+	// Exponential transitions fire at pi(src)·lambda.
+	// Also accumulate the entry rates of vanishing states.
+	entry := make([]float64, len(c.vanishing))
+	for _, e := range c.expEdges {
+		p := pi[c.ctmcIndex[e.src]]
+		if p == 0 {
+			continue
+		}
+		label := c.l.Labels[c.l.Transitions[e.ltsTrans].Label]
+		if match(label) {
+			total += p * e.rate * weight(label)
+		}
+		if vp := c.vanPos[e.dst]; vp >= 0 {
+			entry[vp] += p * e.rate
+		}
+	}
+	// Propagate entry rates through the vanishing DAG in topological
+	// order; each immediate branch fires at entry(src)·prob.
+	for i := range c.vanishing {
+		if entry[i] == 0 {
+			continue
+		}
+		for _, b := range c.branches[i] {
+			fire := entry[i] * b.prob
+			label := c.l.Labels[c.l.Transitions[b.ltsTrans].Label]
+			if match(label) {
+				total += fire * weight(label)
+			}
+			if vp := c.vanPos[b.dst]; vp >= 0 {
+				entry[vp] += fire
+			}
+		}
+	}
+	return total
+}
+
+// ProbLocallyEnabled computes the steady-state probability of the LTS
+// predicate with the given name (recorded at generation time).
+func (c *CTMC) ProbLocallyEnabled(pi []float64, predName string) (float64, error) {
+	total := 0.0
+	for ci, p := range pi {
+		if p == 0 {
+			continue
+		}
+		v, err := c.l.Pred(predName, c.TangibleOf[ci])
+		if err != nil {
+			return 0, err
+		}
+		if v {
+			total += p
+		}
+	}
+	return total, nil
+}
+
+// Transient computes the state distribution at time t from the initial
+// distribution, by uniformization. epsilon bounds the truncation error of
+// the Poisson series (default 1e-10).
+func (c *CTMC) Transient(t, epsilon float64) []float64 {
+	return c.TransientFrom(c.Initial, t, epsilon)
+}
+
+// TransientFrom evolves an arbitrary distribution over tangible states by
+// time t (uniformization). The input is not modified.
+func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
+	if epsilon <= 0 {
+		epsilon = 1e-10
+	}
+	// Uniformization rate.
+	lambda := 0.0
+	for _, e := range c.Exit {
+		if e > lambda {
+			lambda = e
+		}
+	}
+	out := make([]float64, c.N)
+	if lambda == 0 || t <= 0 {
+		copy(out, init)
+		return out
+	}
+	q := lambda * 1.02 // slack keeps the DTMC aperiodic
+	// P = I + Q/q applied iteratively: v_{k+1} = v_k P.
+	v := append([]float64(nil), init...)
+	next := make([]float64, c.N)
+
+	// Poisson(q t) weights with scaling to avoid underflow.
+	qt := q * t
+	// Series upper bound: mean + 10*sqrt(mean) + 20.
+	kMax := int(qt + 10*math.Sqrt(qt) + 20)
+	logW := -qt
+	sumW := 0.0
+	for k := 0; ; k++ {
+		w := math.Exp(logW)
+		sumW += w
+		for i := range v {
+			out[i] += w * v[i]
+		}
+		if k >= kMax && 1-sumW < epsilon {
+			break
+		}
+		if k > kMax*4 {
+			break
+		}
+		// v <- v P
+		for i := range next {
+			next[i] = v[i] * (1 - c.Exit[i]/q)
+		}
+		for s := range c.Rows {
+			if v[s] == 0 {
+				continue
+			}
+			for _, e := range c.Rows[s] {
+				next[e.Col] += v[s] * e.Rate / q
+			}
+		}
+		v, next = next, v
+		logW += math.Log(qt) - math.Log(float64(k+1))
+	}
+	// Renormalize for the truncated tail.
+	total := 0.0
+	for _, p := range out {
+		total += p
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// MeanExitRate returns the steady-state average exit rate (a sanity
+// metric: the total event rate of the chain).
+func (c *CTMC) MeanExitRate(pi []float64) float64 {
+	total := 0.0
+	for ci, p := range pi {
+		total += p * c.Exit[ci]
+	}
+	return total
+}
+
+// NumExpEdges returns the number of exponential transitions retained from
+// the LTS (diagnostics).
+func (c *CTMC) NumExpEdges() int { return len(c.expEdges) }
+
+// NumVanishing returns the number of eliminated vanishing states.
+func (c *CTMC) NumVanishing() int { return len(c.vanishing) }

@@ -1,0 +1,239 @@
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SolveOptions tunes the steady-state solver.
+type SolveOptions struct {
+	// Tolerance is the convergence threshold on the max relative change
+	// per sweep (default 1e-12).
+	Tolerance float64
+	// MaxIterations bounds the Gauss-Seidel sweeps (default 200000).
+	MaxIterations int
+}
+
+// ErrNoConvergence reports that the iterative solver hit its iteration
+// bound.
+var ErrNoConvergence = errors.New("ctmc: steady-state solver did not converge")
+
+// SteadyState computes the long-run probability distribution over tangible
+// states. The chain may be reducible as long as a single bottom strongly
+// connected component is reachable from the initial distribution (the
+// usual case for models with a start-up transient); probability then
+// concentrates on that component.
+func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-12
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 200000
+	}
+
+	bsccs := c.bottomSCCs()
+	reached := c.reachableFromInitial()
+	var target []int
+	for _, comp := range bsccs {
+		if reached[comp[0]] {
+			if target != nil {
+				return nil, ErrMultipleBSCC
+			}
+			target = comp
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("ctmc: no reachable bottom component (internal error)")
+	}
+
+	// An absorbing single state gets all the probability.
+	pi := make([]float64, c.N)
+	if len(target) == 1 {
+		pi[target[0]] = 1
+		return pi, nil
+	}
+
+	// Gauss-Seidel on the balance equations restricted to the component:
+	// pi_j * exit_j = sum_{i -> j} pi_i * q_ij.
+	inComp := make([]bool, c.N)
+	local := make([]int, c.N) // global -> local index
+	for li, s := range target {
+		inComp[s] = true
+		local[s] = li
+	}
+	// Incoming adjacency within the component.
+	type inEdge struct {
+		from int // local index
+		rate float64
+	}
+	incoming := make([][]inEdge, len(target))
+	for _, s := range target {
+		for _, e := range c.Rows[s] {
+			if inComp[e.Col] {
+				incoming[local[e.Col]] = append(incoming[local[e.Col]],
+					inEdge{from: local[s], rate: e.Rate})
+			}
+		}
+	}
+	x := make([]float64, len(target))
+	for i := range x {
+		x[i] = 1 / float64(len(target))
+	}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		maxDelta := 0.0
+		for j := range target {
+			exit := c.Exit[target[j]]
+			if exit <= 0 {
+				continue
+			}
+			inflow := 0.0
+			for _, e := range incoming[j] {
+				inflow += x[e.from] * e.rate
+			}
+			next := inflow / exit
+			d := math.Abs(next - x[j])
+			if rel := d / math.Max(next, 1e-300); rel > maxDelta {
+				maxDelta = rel
+			}
+			x[j] = next
+		}
+		// Normalize to avoid drift.
+		sum := 0.0
+		for _, v := range x {
+			sum += v
+		}
+		if sum <= 0 {
+			return nil, ErrNoConvergence
+		}
+		for j := range x {
+			x[j] /= sum
+		}
+		if maxDelta < opts.Tolerance {
+			for j, s := range target {
+				pi[s] = x[j]
+			}
+			return pi, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// reachableFromInitial returns the set of tangible states reachable from
+// the support of the initial distribution.
+func (c *CTMC) reachableFromInitial() []bool {
+	seen := make([]bool, c.N)
+	var stack []int
+	for s, p := range c.Initial {
+		if p > 0 && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range c.Rows[s] {
+			if !seen[e.Col] {
+				seen[e.Col] = true
+				stack = append(stack, e.Col)
+			}
+		}
+	}
+	return seen
+}
+
+// bottomSCCs returns the strongly connected components of the tangible
+// chain that have no outgoing edges (Tarjan, iterative).
+func (c *CTMC) bottomSCCs() [][]int {
+	n := c.N
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	counter := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] >= 0 {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(c.Rows[f.v]) {
+				w := c.Rows[f.v][f.ei].Col
+				f.ei++
+				if index[w] < 0 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(sccs)
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	// Bottom components: no edge leaves the component.
+	isBottom := make([]bool, len(sccs))
+	for i := range isBottom {
+		isBottom[i] = true
+	}
+	for s := 0; s < n; s++ {
+		for _, e := range c.Rows[s] {
+			if comp[e.Col] != comp[s] {
+				isBottom[comp[s]] = false
+			}
+		}
+	}
+	var out [][]int
+	for i, scc := range sccs {
+		if isBottom[i] {
+			out = append(out, scc)
+		}
+	}
+	return out
+}
+
+// BottomSCCs returns the bottom strongly connected components of the
+// tangible chain — useful for diagnosing reducible models.
+func (c *CTMC) BottomSCCs() [][]int { return c.bottomSCCs() }

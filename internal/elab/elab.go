@@ -1,0 +1,494 @@
+// Package elab elaborates a validated architectural description into an
+// executable composition: it instantiates element types, resolves
+// attachments, and exposes a one-step successor function over global
+// states. Both the explicit state-space generator (internal/lts) and the
+// discrete-event simulator (internal/sim) are built on this package.
+//
+// A global state is a vector of per-instance local configurations; a local
+// configuration is a position in the instance's behaviour (a process node)
+// plus the current values of the enclosing behaviour's parameters.
+//
+// Transition labels follow the TwoTowers convention: an internal action of
+// instance A is labelled "A.a"; a synchronization of A's output interaction
+// o with B's input interaction i is labelled "A.o#B.i". Unattached
+// interactions are blocked (they produce no transitions) but remain
+// *locally enabled*, which is how reward monitors are expressed without
+// perturbing the model's dynamics.
+package elab
+
+import (
+	"fmt"
+
+	"repro/internal/aemilia"
+	"repro/internal/expr"
+	"repro/internal/rates"
+)
+
+// LocalConfig is the configuration of a single instance: a process node
+// identifier plus the values of the enclosing behaviour's parameters.
+type LocalConfig struct {
+	// Node is the process-node identifier (see aemilia.Process.ID).
+	Node int
+	// Args are the current parameter values of the enclosing behaviour.
+	Args []expr.Value
+}
+
+// State is a global state: one local configuration per instance, in
+// topology declaration order.
+type State []LocalConfig
+
+// LocalMove is an action an instance can perform from its current
+// configuration, before considering the topology.
+type LocalMove struct {
+	// Act is the performed action (name and rate annotation).
+	Act aemilia.Action
+	// Next is the instance's configuration after the action.
+	Next LocalConfig
+}
+
+// Transition is a global move of the composition.
+type Transition struct {
+	// Label is the observable label ("A.a" or "A.o#B.i").
+	Label string
+	// Rate is the combined timing annotation.
+	Rate rates.Rate
+	// Next is the global state after the transition.
+	Next State
+	// ActiveInst is the index of the instance that owns the timing of the
+	// transition (the active participant; the moving instance for internal
+	// actions; the output side when neither participant is active).
+	ActiveInst int
+	// ActiveAction is the action name of the active participant, used
+	// together with ActiveInst as the activity identity for simulation
+	// clocks.
+	ActiveAction string
+}
+
+// roleKind classifies how an action of an instance relates to the topology.
+type roleKind int
+
+const (
+	roleInternal roleKind = iota + 1 // not an interaction
+	roleAttachedOut
+	roleAttachedIn
+	roleBlocked // declared interaction, not attached
+)
+
+// partnerRef identifies one attached counterpart of an interaction.
+type partnerRef struct {
+	inst   int
+	action string
+}
+
+type role struct {
+	kind roleKind
+	mult aemilia.Multiplicity
+	// partners lists the attached counterparts (one for UNI, possibly
+	// several for AND/OR).
+	partners []partnerRef
+}
+
+type instance struct {
+	name  string
+	et    *aemilia.ElemType
+	roles map[string]role
+	init  LocalConfig
+}
+
+type nodeInfo struct {
+	proc     aemilia.Process
+	behavior *aemilia.Behavior
+}
+
+// Model is an elaborated architectural description.
+type Model struct {
+	arch  *aemilia.ArchiType
+	insts []instance
+	nodes []nodeInfo // indexed by process-node ID
+}
+
+// Elaborate turns a validated description into an executable composition.
+func Elaborate(a *aemilia.ArchiType) (*Model, error) {
+	if !a.Validated() {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	m := &Model{arch: a, nodes: make([]nodeInfo, a.NodeCount())}
+
+	for _, et := range a.ElemTypes {
+		for _, b := range et.Behaviors {
+			if err := m.indexNodes(b.Body, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	instIdx := make(map[string]int, len(a.Instances))
+	for i, in := range a.Instances {
+		instIdx[in.Name] = i
+	}
+
+	for _, in := range a.Instances {
+		et := in.Type()
+		roles := make(map[string]role)
+		for _, action := range interactionNames(et, true) {
+			p, _ := et.InputPort(action)
+			roles[action] = role{kind: roleBlocked, mult: p.Mult}
+		}
+		for _, action := range interactionNames(et, false) {
+			p, _ := et.OutputPort(action)
+			roles[action] = role{kind: roleBlocked, mult: p.Mult}
+		}
+		args := make([]expr.Value, len(in.Args))
+		for i, ae := range in.Args {
+			v, err := ae.Eval(nil)
+			if err != nil {
+				return nil, fmt.Errorf("elab: instance %s argument %d: %w", in.Name, i+1, err)
+			}
+			args[i] = v
+		}
+		m.insts = append(m.insts, instance{
+			name:  in.Name,
+			et:    et,
+			roles: roles,
+			init:  LocalConfig{Node: et.Initial().Body.ID(), Args: args},
+		})
+	}
+
+	for _, at := range a.Attachments {
+		fi, ti := instIdx[at.FromInstance], instIdx[at.ToInstance]
+		fr := m.insts[fi].roles[at.FromPort]
+		fr.kind = roleAttachedOut
+		fr.partners = append(fr.partners, partnerRef{inst: ti, action: at.ToPort})
+		m.insts[fi].roles[at.FromPort] = fr
+		tr := m.insts[ti].roles[at.ToPort]
+		tr.kind = roleAttachedIn
+		tr.partners = append(tr.partners, partnerRef{inst: fi, action: at.FromPort})
+		m.insts[ti].roles[at.ToPort] = tr
+	}
+	return m, nil
+}
+
+// interactionNames lists the declared interaction names of one direction.
+func interactionNames(et *aemilia.ElemType, inputs bool) []string {
+	var ports []aemilia.Port
+	if inputs {
+		ports = et.InPorts
+		if len(ports) == 0 {
+			out := make([]string, len(et.Inputs))
+			copy(out, et.Inputs)
+			return out
+		}
+	} else {
+		ports = et.OutPorts
+		if len(ports) == 0 {
+			out := make([]string, len(et.Outputs))
+			copy(out, et.Outputs)
+			return out
+		}
+	}
+	out := make([]string, len(ports))
+	for i, p := range ports {
+		out[i] = p.Name
+	}
+	return out
+}
+
+func (m *Model) indexNodes(p aemilia.Process, b *aemilia.Behavior) error {
+	id := p.ID()
+	if id < 0 || id >= len(m.nodes) {
+		return fmt.Errorf("elab: node id %d out of range (unvalidated description?)", id)
+	}
+	m.nodes[id] = nodeInfo{proc: p, behavior: b}
+	switch x := p.(type) {
+	case *aemilia.Prefix:
+		return m.indexNodes(x.Cont, b)
+	case *aemilia.Choice:
+		for _, br := range x.Branches {
+			if err := m.indexNodes(br, b); err != nil {
+				return err
+			}
+		}
+	case *aemilia.Guarded:
+		return m.indexNodes(x.Body, b)
+	}
+	return nil
+}
+
+// Arch returns the underlying architectural description.
+func (m *Model) Arch() *aemilia.ArchiType { return m.arch }
+
+// NumInstances returns the number of element instances.
+func (m *Model) NumInstances() int { return len(m.insts) }
+
+// InstanceName returns the name of the i-th instance.
+func (m *Model) InstanceName(i int) string { return m.insts[i].name }
+
+// InstanceIndex returns the index of the named instance.
+func (m *Model) InstanceIndex(name string) (int, bool) {
+	for i := range m.insts {
+		if m.insts[i].name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Initial returns the initial global state.
+func (m *Model) Initial() State {
+	s := make(State, len(m.insts))
+	for i := range m.insts {
+		s[i] = m.insts[i].init
+	}
+	return s
+}
+
+// env builds the evaluation environment of a local configuration.
+func (m *Model) env(c LocalConfig) (expr.MapEnv, error) {
+	b := m.nodes[c.Node].behavior
+	if len(b.Params) != len(c.Args) {
+		return nil, fmt.Errorf("elab: configuration of behaviour %s has %d value(s) for %d parameter(s)",
+			b.Name, len(c.Args), len(b.Params))
+	}
+	if len(b.Params) == 0 {
+		return nil, nil
+	}
+	env := make(expr.MapEnv, len(b.Params))
+	for i, p := range b.Params {
+		env[p.Name] = c.Args[i]
+	}
+	return env, nil
+}
+
+// contConfig computes the configuration reached by following continuation
+// cont under environment env (resolving behaviour invocations).
+func (m *Model) contConfig(cont aemilia.Process, env expr.MapEnv, args []expr.Value) (LocalConfig, error) {
+	if call, ok := cont.(*aemilia.Call); ok {
+		target := call.Target()
+		vals := make([]expr.Value, len(call.Args))
+		for i, ae := range call.Args {
+			v, err := ae.Eval(env)
+			if err != nil {
+				return LocalConfig{}, fmt.Errorf("elab: invocation of %s, argument %d: %w", call.Name, i+1, err)
+			}
+			vals[i] = v
+		}
+		return LocalConfig{Node: target.Body.ID(), Args: vals}, nil
+	}
+	return LocalConfig{Node: cont.ID(), Args: args}, nil
+}
+
+// LocalMoves returns the actions instance i can perform from its
+// configuration in s, before applying the topology.
+func (m *Model) LocalMoves(s State, i int) ([]LocalMove, error) {
+	c := s[i]
+	env, err := m.env(c)
+	if err != nil {
+		return nil, err
+	}
+	var moves []LocalMove
+	var walk func(p aemilia.Process) error
+	walk = func(p aemilia.Process) error {
+		switch x := p.(type) {
+		case *aemilia.Stop:
+			return nil
+		case *aemilia.Prefix:
+			next, err := m.contConfig(x.Cont, env, c.Args)
+			if err != nil {
+				return err
+			}
+			moves = append(moves, LocalMove{Act: x.Act, Next: next})
+			return nil
+		case *aemilia.Choice:
+			for _, br := range x.Branches {
+				if err := walk(br); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *aemilia.Guarded:
+			v, err := x.Cond.Eval(env)
+			if err != nil {
+				return fmt.Errorf("elab: guard in %s: %w", m.insts[i].name, err)
+			}
+			if v.Bool {
+				return walk(x.Body)
+			}
+			return nil
+		default:
+			return fmt.Errorf("elab: unexpected process node %T in configuration", p)
+		}
+	}
+	if err := walk(m.nodes[c.Node].proc); err != nil {
+		return nil, err
+	}
+	return moves, nil
+}
+
+// LocallyEnabled reports whether the named action of the named instance is
+// enabled in its local configuration in s, regardless of whether the
+// topology lets it fire. This is the predicate behind reward monitors.
+func (m *Model) LocallyEnabled(s State, instName, action string) (bool, error) {
+	i, ok := m.InstanceIndex(instName)
+	if !ok {
+		return false, fmt.Errorf("elab: unknown instance %q", instName)
+	}
+	moves, err := m.LocalMoves(s, i)
+	if err != nil {
+		return false, err
+	}
+	for _, mv := range moves {
+		if mv.Act.Name == action {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Successors returns the global transitions enabled in s.
+func (m *Model) Successors(s State) ([]Transition, error) {
+	if len(s) != len(m.insts) {
+		return nil, fmt.Errorf("elab: state has %d configurations for %d instances", len(s), len(m.insts))
+	}
+	local := make([][]LocalMove, len(m.insts))
+	for i := range m.insts {
+		mv, err := m.LocalMoves(s, i)
+		if err != nil {
+			return nil, err
+		}
+		local[i] = mv
+	}
+
+	var out []Transition
+	for i := range m.insts {
+		for _, mv := range local[i] {
+			r, ok := m.insts[i].roles[mv.Act.Name]
+			if !ok {
+				// Internal action: interleave.
+				next := cloneState(s)
+				next[i] = mv.Next
+				out = append(out, Transition{
+					Label:        m.insts[i].name + "." + mv.Act.Name,
+					Rate:         mv.Act.Rate,
+					Next:         next,
+					ActiveInst:   i,
+					ActiveAction: mv.Act.Name,
+				})
+				continue
+			}
+			switch r.kind {
+			case roleBlocked, roleAttachedIn:
+				// Blocked, or handled from the output side.
+				continue
+			case roleAttachedOut:
+				if r.mult == aemilia.And && len(r.partners) > 1 {
+					ts, err := m.broadcast(s, i, mv, r.partners, local)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, ts...)
+					continue
+				}
+				// UNI and OR: synchronize with one partner at a time.
+				for _, pr := range r.partners {
+					for _, mv2 := range local[pr.inst] {
+						if mv2.Act.Name != pr.action {
+							continue
+						}
+						combined, err := rates.Combine(mv.Act.Rate, mv2.Act.Rate)
+						if err != nil {
+							return nil, fmt.Errorf("elab: %s.%s # %s.%s: %w",
+								m.insts[i].name, mv.Act.Name, m.insts[pr.inst].name, mv2.Act.Name, err)
+						}
+						next := cloneState(s)
+						next[i] = mv.Next
+						next[pr.inst] = mv2.Next
+						active, activeAction := i, mv.Act.Name
+						if mv2.Act.Rate.IsActive() {
+							active, activeAction = pr.inst, mv2.Act.Name
+						}
+						out = append(out, Transition{
+							Label: m.insts[i].name + "." + mv.Act.Name + "#" +
+								m.insts[pr.inst].name + "." + mv2.Act.Name,
+							Rate:         combined,
+							Next:         next,
+							ActiveInst:   active,
+							ActiveAction: activeAction,
+						})
+					}
+				}
+			case roleInternal:
+				// Unreachable: internal actions have no role entry.
+			}
+		}
+	}
+	return out, nil
+}
+
+// broadcast builds the AND-synchronization transitions of an output move:
+// every attached partner must offer the action; one transition is
+// generated per combination of partner moves (usually one each).
+func (m *Model) broadcast(s State, i int, mv LocalMove, partners []partnerRef, local [][]LocalMove) ([]Transition, error) {
+	// Collect each partner's candidate moves; all must be non-empty.
+	cands := make([][]LocalMove, len(partners))
+	for pi, pr := range partners {
+		for _, mv2 := range local[pr.inst] {
+			if mv2.Act.Name == pr.action {
+				cands[pi] = append(cands[pi], mv2)
+			}
+		}
+		if len(cands[pi]) == 0 {
+			return nil, nil // some partner refuses: broadcast disabled
+		}
+	}
+	var out []Transition
+	idx := make([]int, len(partners))
+	for {
+		combined := mv.Act.Rate
+		active, activeAction := i, mv.Act.Name
+		label := m.insts[i].name + "." + mv.Act.Name
+		next := cloneState(s)
+		next[i] = mv.Next
+		var err error
+		for pi, pr := range partners {
+			mv2 := cands[pi][idx[pi]]
+			combined, err = rates.Combine(combined, mv2.Act.Rate)
+			if err != nil {
+				return nil, fmt.Errorf("elab: broadcast %s.%s # %s.%s: %w",
+					m.insts[i].name, mv.Act.Name, m.insts[pr.inst].name, mv2.Act.Name, err)
+			}
+			if mv2.Act.Rate.IsActive() {
+				active, activeAction = pr.inst, mv2.Act.Name
+			}
+			label += "#" + m.insts[pr.inst].name + "." + mv2.Act.Name
+			next[pr.inst] = mv2.Next
+		}
+		out = append(out, Transition{
+			Label:        label,
+			Rate:         combined,
+			Next:         next,
+			ActiveInst:   active,
+			ActiveAction: activeAction,
+		})
+		// Advance the combination counter.
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(cands[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return out, nil
+		}
+	}
+}
+
+func cloneState(s State) State {
+	next := make(State, len(s))
+	copy(next, s)
+	return next
+}

@@ -1,0 +1,339 @@
+package elab
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/aemilia"
+	"repro/internal/expr"
+	"repro/internal/rates"
+)
+
+// pingPong builds A -ping-> B, B -ack-> A with an internal "think" in B.
+func pingPong(t *testing.T) *Model {
+	t.Helper()
+	sender := aemilia.NewElemType("Sender_Type",
+		[]string{"ack"}, []string{"ping"},
+		aemilia.NewBehavior("Send", nil,
+			aemilia.Pre("ping", rates.UntimedRate(),
+				aemilia.Pre("ack", rates.UntimedRate(), aemilia.Invoke("Send")))),
+	)
+	receiver := aemilia.NewElemType("Receiver_Type",
+		[]string{"ping"}, []string{"ack"},
+		aemilia.NewBehavior("Recv", nil,
+			aemilia.Pre("ping", rates.UntimedRate(),
+				aemilia.Pre("think", rates.UntimedRate(),
+					aemilia.Pre("ack", rates.UntimedRate(), aemilia.Invoke("Recv"))))),
+	)
+	a := aemilia.NewArchiType("PingPong",
+		[]*aemilia.ElemType{sender, receiver},
+		[]*aemilia.Instance{
+			aemilia.NewInstance("A", "Sender_Type"),
+			aemilia.NewInstance("B", "Receiver_Type"),
+		},
+		[]aemilia.Attachment{
+			aemilia.Attach("A", "ping", "B", "ping"),
+			aemilia.Attach("B", "ack", "A", "ack"),
+		},
+	)
+	m, err := Elaborate(a)
+	if err != nil {
+		t.Fatalf("Elaborate: %v", err)
+	}
+	return m
+}
+
+// buffer builds a parameterized bounded buffer with producer and consumer.
+func buffer(t *testing.T, capacity int64) *Model {
+	t.Helper()
+	buf := aemilia.NewElemType("Buffer_Type",
+		[]string{"put"}, []string{"get"},
+		aemilia.NewBehavior("Buffer", []aemilia.Param{aemilia.IntParam("n")},
+			aemilia.Ch(
+				aemilia.When(expr.Bin(expr.OpLt, expr.Ref("n"), expr.Int(capacity)),
+					aemilia.Pre("put", rates.PassiveRate(),
+						aemilia.Invoke("Buffer", expr.Bin(expr.OpAdd, expr.Ref("n"), expr.Int(1))))),
+				aemilia.When(expr.Bin(expr.OpGt, expr.Ref("n"), expr.Int(0)),
+					aemilia.Pre("get", rates.PassiveRate(),
+						aemilia.Invoke("Buffer", expr.Bin(expr.OpSub, expr.Ref("n"), expr.Int(1))))),
+			)),
+	)
+	prod := aemilia.NewElemType("Prod_Type", nil, []string{"put"},
+		aemilia.NewBehavior("P", nil,
+			aemilia.Pre("put", rates.ExpRate(2), aemilia.Invoke("P"))))
+	cons := aemilia.NewElemType("Cons_Type", []string{"get"}, nil,
+		aemilia.NewBehavior("C", nil,
+			aemilia.Pre("get", rates.ExpRate(3), aemilia.Invoke("C"))))
+	a := aemilia.NewArchiType("Counter",
+		[]*aemilia.ElemType{buf, prod, cons},
+		[]*aemilia.Instance{
+			aemilia.NewInstance("B", "Buffer_Type", expr.Int(0)),
+			aemilia.NewInstance("P", "Prod_Type"),
+			aemilia.NewInstance("C", "Cons_Type"),
+		},
+		[]aemilia.Attachment{
+			aemilia.Attach("P", "put", "B", "put"),
+			aemilia.Attach("B", "get", "C", "get"),
+		},
+	)
+	m, err := Elaborate(a)
+	if err != nil {
+		t.Fatalf("Elaborate: %v", err)
+	}
+	return m
+}
+
+func labels(ts []Transition) []string {
+	out := make([]string, len(ts))
+	for i, tr := range ts {
+		out[i] = tr.Label
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestInitialAndSuccessors(t *testing.T) {
+	m := pingPong(t)
+	s0 := m.Initial()
+	if len(s0) != 2 {
+		t.Fatalf("initial state has %d configs, want 2", len(s0))
+	}
+	ts, err := m.Successors(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := labels(ts)
+	want := []string{"A.ping#B.ping"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("initial successors = %v, want %v", got, want)
+	}
+
+	s1 := ts[0].Next
+	ts, err = m.Successors(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := labels(ts); strings.Join(got, ",") != "B.think" {
+		t.Fatalf("after ping, successors = %v, want [B.think]", got)
+	}
+
+	s2 := ts[0].Next
+	ts, err = m.Successors(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := labels(ts); strings.Join(got, ",") != "B.ack#A.ack" {
+		t.Fatalf("after think, successors = %v, want [B.ack#A.ack]", got)
+	}
+
+	s3 := ts[0].Next
+	if !Equal(s3, s0) {
+		t.Errorf("cycle should return to the initial state; got %s", m.Describe(s3))
+	}
+}
+
+func TestCycleReturnsSameKey(t *testing.T) {
+	m := pingPong(t)
+	s := m.Initial()
+	k0 := m.Key(s)
+	for range 3 {
+		ts, err := m.Successors(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) != 1 {
+			t.Fatalf("expected deterministic cycle, got %d transitions", len(ts))
+		}
+		s = ts[0].Next
+	}
+	if m.Key(s) != k0 {
+		t.Errorf("state key after full cycle differs")
+	}
+}
+
+func TestBufferGuardsAndParams(t *testing.T) {
+	m := buffer(t, 2)
+	s := m.Initial()
+
+	// Empty buffer: only put is possible.
+	ts, err := m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := labels(ts); strings.Join(got, ",") != "P.put#B.put" {
+		t.Fatalf("empty buffer successors = %v", got)
+	}
+	if ts[0].Rate.Kind != rates.Exp || ts[0].Rate.Lambda != 2 {
+		t.Errorf("put rate = %v, want exp(2)", ts[0].Rate)
+	}
+	if ts[0].ActiveInst != 1 || ts[0].ActiveAction != "put" {
+		t.Errorf("active side = (%d, %s), want (1, put)", ts[0].ActiveInst, ts[0].ActiveAction)
+	}
+
+	// One element: both put and get possible.
+	s = ts[0].Next
+	ts, err = m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := labels(ts); strings.Join(got, ",") != "B.get#C.get,P.put#B.put" {
+		t.Fatalf("one-element successors = %v", got)
+	}
+
+	// Fill to capacity: only get possible.
+	for _, tr := range ts {
+		if tr.Label == "P.put#B.put" {
+			s = tr.Next
+		}
+	}
+	ts, err = m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := labels(ts); strings.Join(got, ",") != "B.get#C.get" {
+		t.Fatalf("full buffer successors = %v", got)
+	}
+	if !strings.Contains(m.Describe(s), "B=Buffer(2)") {
+		t.Errorf("Describe = %q, want to contain B=Buffer(2)", m.Describe(s))
+	}
+}
+
+func TestLocallyEnabled(t *testing.T) {
+	m := buffer(t, 2)
+	s := m.Initial()
+	ok, err := m.LocallyEnabled(s, "B", "put")
+	if err != nil || !ok {
+		t.Errorf("put should be locally enabled on empty buffer: %v %v", ok, err)
+	}
+	ok, err = m.LocallyEnabled(s, "B", "get")
+	if err != nil || ok {
+		t.Errorf("get should not be enabled on empty buffer: %v %v", ok, err)
+	}
+	if _, err := m.LocallyEnabled(s, "ZZ", "x"); err == nil {
+		t.Error("unknown instance should error")
+	}
+}
+
+func TestBlockedInteraction(t *testing.T) {
+	// An output interaction that is never attached must not fire, but must
+	// stay locally enabled (monitor idiom).
+	et := aemilia.NewElemType("T", nil, []string{"mon"},
+		aemilia.NewBehavior("B", nil,
+			aemilia.Ch(
+				aemilia.Pre("work", rates.ExpRate(1), aemilia.Invoke("B")),
+				aemilia.Pre("mon", rates.PassiveRate(), aemilia.Invoke("B")),
+			)))
+	a := aemilia.NewArchiType("A", []*aemilia.ElemType{et},
+		[]*aemilia.Instance{aemilia.NewInstance("I", "T")}, nil)
+	m, err := Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Initial()
+	ts, err := m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := labels(ts); strings.Join(got, ",") != "I.work" {
+		t.Fatalf("successors = %v, want [I.work] (mon blocked)", got)
+	}
+	ok, err := m.LocallyEnabled(s, "I", "mon")
+	if err != nil || !ok {
+		t.Errorf("mon should be locally enabled: %v %v", ok, err)
+	}
+}
+
+func TestStopDeadlocks(t *testing.T) {
+	et := aemilia.NewElemType("T", nil, nil,
+		aemilia.NewBehavior("B", nil,
+			aemilia.Pre("once", rates.ExpRate(1), aemilia.Halt())))
+	a := aemilia.NewArchiType("A", []*aemilia.ElemType{et},
+		[]*aemilia.Instance{aemilia.NewInstance("I", "T")}, nil)
+	m, err := Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := m.Successors(m.Initial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("want 1 transition, got %d", len(ts))
+	}
+	ts2, err := m.Successors(ts[0].Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts2) != 0 {
+		t.Errorf("stop state should deadlock, got %v", labels(ts2))
+	}
+}
+
+func TestTwoActiveSyncRejected(t *testing.T) {
+	p := aemilia.NewElemType("P", nil, []string{"a"},
+		aemilia.NewBehavior("PB", nil, aemilia.Pre("a", rates.ExpRate(1), aemilia.Invoke("PB"))))
+	q := aemilia.NewElemType("Q", []string{"a"}, nil,
+		aemilia.NewBehavior("QB", nil, aemilia.Pre("a", rates.ExpRate(2), aemilia.Invoke("QB"))))
+	a := aemilia.NewArchiType("A",
+		[]*aemilia.ElemType{p, q},
+		[]*aemilia.Instance{aemilia.NewInstance("P1", "P"), aemilia.NewInstance("Q1", "Q")},
+		[]aemilia.Attachment{aemilia.Attach("P1", "a", "Q1", "a")})
+	m, err := Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Successors(m.Initial()); err == nil {
+		t.Error("two active participants should be rejected")
+	}
+}
+
+func TestDescribeInitial(t *testing.T) {
+	m := buffer(t, 2)
+	d := m.Describe(m.Initial())
+	for _, want := range []string{"B=Buffer(0)", "P=P()", "C=C()"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe = %q, missing %q", d, want)
+		}
+	}
+}
+
+func TestInstanceIndex(t *testing.T) {
+	m := pingPong(t)
+	if i, ok := m.InstanceIndex("B"); !ok || i != 1 {
+		t.Errorf("InstanceIndex(B) = (%d, %t), want (1, true)", i, ok)
+	}
+	if _, ok := m.InstanceIndex("nope"); ok {
+		t.Error("InstanceIndex(nope) should fail")
+	}
+	if m.NumInstances() != 2 || m.InstanceName(0) != "A" {
+		t.Errorf("instance accessors wrong")
+	}
+}
+
+func TestKeyDistinguishesArgs(t *testing.T) {
+	m := buffer(t, 3)
+	s := m.Initial()
+	keys := map[string]bool{m.Key(s): true}
+	for range 3 {
+		ts, err := m.Successors(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var next State
+		for _, tr := range ts {
+			if strings.HasPrefix(tr.Label, "P.put") {
+				next = tr.Next
+			}
+		}
+		if next == nil {
+			t.Fatal("no put transition found")
+		}
+		s = next
+		k := m.Key(s)
+		if keys[k] {
+			t.Fatalf("duplicate key for distinct buffer fill level")
+		}
+		keys[k] = true
+	}
+}

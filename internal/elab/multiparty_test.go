@@ -1,0 +1,268 @@
+package elab
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/aemilia"
+	"repro/internal/rates"
+)
+
+// broadcastModel: one publisher with an AND output feeding two
+// subscribers; the broadcast moves all three instances at once.
+func broadcastModel(t *testing.T, subscribers int) *Model {
+	t.Helper()
+	pub := aemilia.NewElemTypePorts("Pub_Type",
+		nil, []aemilia.Port{aemilia.AndPort("publish")},
+		aemilia.NewBehavior("P", nil,
+			aemilia.Pre("prepare", rates.ExpRate(1),
+				aemilia.Pre("publish", rates.Inf(1, 1), aemilia.Invoke("P")))))
+	sub := aemilia.NewElemTypePorts("Sub_Type",
+		[]aemilia.Port{aemilia.UniPort("hear")}, nil,
+		aemilia.NewBehavior("S", nil,
+			aemilia.Pre("hear", rates.PassiveRate(),
+				aemilia.Pre("digest", rates.ExpRate(2), aemilia.Invoke("S")))))
+	insts := []*aemilia.Instance{aemilia.NewInstance("P", "Pub_Type")}
+	var atts []aemilia.Attachment
+	names := []string{"A", "B", "C", "D"}
+	for i := 0; i < subscribers; i++ {
+		insts = append(insts, aemilia.NewInstance(names[i], "Sub_Type"))
+		atts = append(atts, aemilia.Attach("P", "publish", names[i], "hear"))
+	}
+	a := aemilia.NewArchiType("Broadcast",
+		[]*aemilia.ElemType{pub, sub}, insts, atts)
+	m, err := Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBroadcastMovesAllPartners(t *testing.T) {
+	m := broadcastModel(t, 2)
+	s := m.Initial()
+	ts, err := m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Label != "P.prepare" {
+		t.Fatalf("initial successors = %v", ts)
+	}
+	s = ts[0].Next
+	ts, err = m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("expected a single broadcast transition, got %d", len(ts))
+	}
+	if ts[0].Label != "P.publish#A.hear#B.hear" {
+		t.Errorf("broadcast label = %q", ts[0].Label)
+	}
+	// Both subscribers moved: each can now digest.
+	s = ts[0].Next
+	ts, err = m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(ts))
+	for i, tr := range ts {
+		labels[i] = tr.Label
+	}
+	sort.Strings(labels)
+	if strings.Join(labels, ",") != "A.digest,B.digest,P.prepare" {
+		t.Errorf("post-broadcast successors = %v", labels)
+	}
+}
+
+func TestBroadcastBlocksUntilAllReady(t *testing.T) {
+	m := broadcastModel(t, 2)
+	s := m.Initial()
+	// prepare, publish, then A digests; the next publish must wait for A.
+	for _, want := range []string{"P.prepare", "P.publish#A.hear#B.hear"} {
+		ts, err := m.Successors(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, tr := range ts {
+			if tr.Label == want {
+				s = tr.Next
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("missing transition %q", want)
+		}
+	}
+	// Now both are digesting; P prepares the next frame.
+	ts, err := m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prep State
+	for _, tr := range ts {
+		if tr.Label == "P.prepare" {
+			prep = tr.Next
+		}
+	}
+	if prep == nil {
+		t.Fatal("prepare not enabled")
+	}
+	// From prep, the publish is blocked because A and B still digest:
+	// only digests are enabled.
+	ts, err = m.Successors(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ts {
+		if strings.HasPrefix(tr.Label, "P.publish") {
+			t.Errorf("broadcast should block while a subscriber is busy: %v", tr.Label)
+		}
+	}
+}
+
+// orModel: a server with an OR output serving two clients alternately.
+func orModel(t *testing.T) *Model {
+	t.Helper()
+	srv := aemilia.NewElemTypePorts("Srv_Type",
+		nil, []aemilia.Port{aemilia.OrPort("serve")},
+		aemilia.NewBehavior("S", nil,
+			aemilia.Pre("serve", rates.ExpRate(3), aemilia.Invoke("S"))))
+	cli := aemilia.NewElemTypePorts("Cli_Type",
+		[]aemilia.Port{aemilia.UniPort("obtain")}, nil,
+		aemilia.NewBehavior("C", nil,
+			aemilia.Pre("obtain", rates.PassiveRate(),
+				aemilia.Pre("use", rates.ExpRate(1), aemilia.Invoke("C")))))
+	a := aemilia.NewArchiType("Shared",
+		[]*aemilia.ElemType{srv, cli},
+		[]*aemilia.Instance{
+			aemilia.NewInstance("S", "Srv_Type"),
+			aemilia.NewInstance("C1", "Cli_Type"),
+			aemilia.NewInstance("C2", "Cli_Type"),
+		},
+		[]aemilia.Attachment{
+			aemilia.Attach("S", "serve", "C1", "obtain"),
+			aemilia.Attach("S", "serve", "C2", "obtain"),
+		})
+	m, err := Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOrServesOnePartnerAtATime(t *testing.T) {
+	m := orModel(t)
+	ts, err := m.Successors(m.Initial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(ts))
+	for i, tr := range ts {
+		labels[i] = tr.Label
+	}
+	sort.Strings(labels)
+	want := "S.serve#C1.obtain,S.serve#C2.obtain"
+	if strings.Join(labels, ",") != want {
+		t.Fatalf("OR successors = %v, want %s", labels, want)
+	}
+	// After serving C1, the server can still serve C2 while C1 uses.
+	s := ts[0].Next
+	ts, err = m.Successors(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawServe2, sawUse1 bool
+	for _, tr := range ts {
+		switch tr.Label {
+		case "S.serve#C2.obtain":
+			sawServe2 = true
+		case "C1.use":
+			sawUse1 = true
+		}
+	}
+	if !sawServe2 || !sawUse1 {
+		t.Errorf("after first serve: %v", ts)
+	}
+}
+
+func TestAndInputRejected(t *testing.T) {
+	srv := aemilia.NewElemTypePorts("S_Type",
+		nil, []aemilia.Port{aemilia.UniPort("ping")},
+		aemilia.NewBehavior("S", nil,
+			aemilia.Pre("ping", rates.UntimedRate(), aemilia.Invoke("S"))))
+	rcv := aemilia.NewElemTypePorts("R_Type",
+		[]aemilia.Port{aemilia.AndPort("hear")}, nil,
+		aemilia.NewBehavior("R", nil,
+			aemilia.Pre("hear", rates.UntimedRate(), aemilia.Invoke("R"))))
+	a := aemilia.NewArchiType("X",
+		[]*aemilia.ElemType{srv, rcv},
+		[]*aemilia.Instance{
+			aemilia.NewInstance("S", "S_Type"),
+			aemilia.NewInstance("R", "R_Type"),
+		},
+		[]aemilia.Attachment{aemilia.Attach("S", "ping", "R", "hear")})
+	if _, err := Elaborate(a); err == nil ||
+		!strings.Contains(err.Error(), "only supported on output") {
+		t.Fatalf("AND input should be rejected, got %v", err)
+	}
+}
+
+func TestUniStillRejectsDoubleAttachment(t *testing.T) {
+	srv := aemilia.NewElemTypePorts("S_Type",
+		nil, []aemilia.Port{aemilia.UniPort("ping")},
+		aemilia.NewBehavior("S", nil,
+			aemilia.Pre("ping", rates.UntimedRate(), aemilia.Invoke("S"))))
+	rcv := aemilia.NewElemTypePorts("R_Type",
+		[]aemilia.Port{aemilia.UniPort("hear")}, nil,
+		aemilia.NewBehavior("R", nil,
+			aemilia.Pre("hear", rates.UntimedRate(), aemilia.Invoke("R"))))
+	a := aemilia.NewArchiType("X",
+		[]*aemilia.ElemType{srv, rcv},
+		[]*aemilia.Instance{
+			aemilia.NewInstance("S", "S_Type"),
+			aemilia.NewInstance("R1", "R_Type"),
+			aemilia.NewInstance("R2", "R_Type"),
+		},
+		[]aemilia.Attachment{
+			aemilia.Attach("S", "ping", "R1", "hear"),
+			aemilia.Attach("S", "ping", "R2", "hear"),
+		})
+	if _, err := Elaborate(a); err == nil ||
+		!strings.Contains(err.Error(), "more than once (UNI)") {
+		t.Fatalf("double UNI attachment should be rejected, got %v", err)
+	}
+}
+
+func TestBroadcastRateDiscipline(t *testing.T) {
+	// Two active participants in a broadcast must be rejected.
+	pub := aemilia.NewElemTypePorts("Pub_Type",
+		nil, []aemilia.Port{aemilia.AndPort("publish")},
+		aemilia.NewBehavior("P", nil,
+			aemilia.Pre("publish", rates.ExpRate(1), aemilia.Invoke("P"))))
+	subActive := aemilia.NewElemTypePorts("Sub_Type",
+		[]aemilia.Port{aemilia.UniPort("hear")}, nil,
+		aemilia.NewBehavior("S", nil,
+			aemilia.Pre("hear", rates.ExpRate(2), aemilia.Invoke("S"))))
+	a := aemilia.NewArchiType("BadBroadcast",
+		[]*aemilia.ElemType{pub, subActive},
+		[]*aemilia.Instance{
+			aemilia.NewInstance("P", "Pub_Type"),
+			aemilia.NewInstance("A", "Sub_Type"),
+			aemilia.NewInstance("B", "Sub_Type"),
+		},
+		[]aemilia.Attachment{
+			aemilia.Attach("P", "publish", "A", "hear"),
+			aemilia.Attach("P", "publish", "B", "hear"),
+		})
+	m, err := Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Successors(m.Initial()); err == nil {
+		t.Fatal("broadcast with several active participants should fail")
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/elab"
+	"repro/internal/lts"
+	"repro/internal/measure"
+	"repro/internal/models"
+)
+
+// BatteryPoint reports the battery-lifetime analysis of one rpc
+// configuration: the time until a finite energy budget is exhausted
+// (transient analysis, starting from the real initial state rather than
+// steady state) and the number of requests served by then — the
+// "battery-powered appliance" question behind the paper's title.
+type BatteryPoint struct {
+	// Policy names the DPM configuration.
+	Policy models.Policy
+	// Lifetime is the model time at which the budget runs out.
+	Lifetime float64
+	// RequestsServed is the expected number of completed requests within
+	// the lifetime.
+	RequestsServed float64
+	// MeanPower is the average power drawn over the lifetime.
+	MeanPower float64
+}
+
+// BatteryLifetime computes, for every DPM policy, how long a battery with
+// the given energy budget powers the rpc server, by integrating the
+// transient energy rate of the CTMC (uniformization steps of dt).
+func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
+	if budget <= 0 || dt <= 0 {
+		return nil, fmt.Errorf("experiments: budget and dt must be positive")
+	}
+	policies := []models.Policy{
+		models.PolicyNone,
+		models.PolicyTrivial,
+		models.PolicyTimeout,
+		models.PolicyPredictive,
+	}
+	out := make([]BatteryPoint, 0, len(policies))
+	for _, pol := range policies {
+		p := models.DefaultRPCParams()
+		p.Policy = pol
+		p.WithDPM = pol != models.PolicyNone
+		p.ShutdownTimeout = timeout
+		a, err := models.BuildRPCRevised(p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := elab.Elaborate(a)
+		if err != nil {
+			return nil, err
+		}
+		measures := models.RPCMeasures(p)
+		l, err := lts.Generate(m, lts.GenerateOptions{Predicates: measure.StatePreds(measures)})
+		if err != nil {
+			return nil, err
+		}
+		chain, err := ctmc.Build(l)
+		if err != nil {
+			return nil, err
+		}
+
+		energyAt := func(pi []float64) (float64, error) {
+			total := 0.0
+			for _, ms := range measures {
+				if ms.Name != "energy" {
+					continue
+				}
+				v, err := ms.EvalCTMC(chain, pi)
+				if err != nil {
+					return 0, err
+				}
+				total += v
+			}
+			return total, nil
+		}
+		throughputAt := func(pi []float64) float64 {
+			return chain.Throughput(pi, func(label string) bool {
+				return lts.LabelInvolves(label, "C.process_result_packet")
+			}, nil)
+		}
+
+		// Trapezoidal integration of the transient energy rate until the
+		// budget is spent.
+		pi := append([]float64(nil), chain.Initial...)
+		eRate, err := energyAt(pi)
+		if err != nil {
+			return nil, err
+		}
+		tRate := throughputAt(pi)
+		var (
+			elapsed  float64
+			consumed float64
+			served   float64
+		)
+		const maxSteps = 1_000_000
+		for step := 0; consumed < budget; step++ {
+			if step >= maxSteps {
+				return nil, fmt.Errorf("experiments: battery integration exceeded %d steps", maxSteps)
+			}
+			next := chain.TransientFrom(pi, dt, 1e-9)
+			eNext, err := energyAt(next)
+			if err != nil {
+				return nil, err
+			}
+			tNext := throughputAt(next)
+			dE := (eRate + eNext) / 2 * dt
+			dS := (tRate + tNext) / 2 * dt
+			if consumed+dE >= budget {
+				// Interpolate the crossing inside the step.
+				frac := (budget - consumed) / dE
+				elapsed += frac * dt
+				served += frac * dS
+				consumed = budget
+			} else {
+				consumed += dE
+				served += dS
+				elapsed += dt
+			}
+			pi, eRate, tRate = next, eNext, tNext
+		}
+		mp := 0.0
+		if elapsed > 0 {
+			mp = budget / elapsed
+		}
+		out = append(out, BatteryPoint{
+			Policy:         pol,
+			Lifetime:       elapsed,
+			RequestsServed: served,
+			MeanPower:      mp,
+		})
+	}
+	return out, nil
+}
+
+// BatteryRows renders battery points as table rows.
+func BatteryRows(points []BatteryPoint) ([]string, [][]string) {
+	header := []string{"policy", "lifetime_ms", "requests_served", "mean_power"}
+	rows := make([][]string, 0, len(points))
+	for _, pt := range points {
+		rows = append(rows, []string{
+			pt.Policy.String(), f(pt.Lifetime), f(pt.RequestsServed), f(pt.MeanPower),
+		})
+	}
+	return header, rows
+}

@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The experiment tests run at Quick scale with short simulations: they
+// assert the paper's qualitative shapes, not absolute values.
+
+func TestSect3Results(t *testing.T) {
+	simplified, err := RPCNoninterferenceSimplified()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simplified.Transparent {
+		t.Error("simplified rpc must fail noninterference")
+	}
+	if !strings.Contains(simplified.Formula, "C.send_rpc_packet#RCS.get_packet") {
+		t.Errorf("formula missing client send label: %s", simplified.Formula)
+	}
+
+	revised, err := RPCNoninterferenceRevised()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !revised.Transparent {
+		t.Errorf("revised rpc must pass; formula: %s", revised.Formula)
+	}
+
+	streaming, err := StreamingNoninterference(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streaming.Transparent {
+		t.Errorf("streaming must pass; formula: %s", streaming.Formula)
+	}
+}
+
+func TestFig3MarkovShapes(t *testing.T) {
+	pts, err := Fig3Markov([]float64{0.5, 5, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if !(pt.WithDPM.Throughput < pt.NoDPM.Throughput) {
+			t.Errorf("timeout %v: DPM throughput %v !< no-DPM %v",
+				pt.Timeout, pt.WithDPM.Throughput, pt.NoDPM.Throughput)
+		}
+		if !(pt.WithDPM.WaitingTime > pt.NoDPM.WaitingTime) {
+			t.Errorf("timeout %v: DPM waiting %v !> no-DPM %v",
+				pt.Timeout, pt.WithDPM.WaitingTime, pt.NoDPM.WaitingTime)
+		}
+		if !(pt.WithDPM.EnergyPerRequest < pt.NoDPM.EnergyPerRequest) {
+			t.Errorf("timeout %v: DPM energy/req %v !< no-DPM %v (Markovian DPM is never counterproductive)",
+				pt.Timeout, pt.WithDPM.EnergyPerRequest, pt.NoDPM.EnergyPerRequest)
+		}
+	}
+	// Shorter timeout → larger impact.
+	if !(pts[0].WithDPM.EnergyPerRequest < pts[2].WithDPM.EnergyPerRequest) {
+		t.Error("energy/request should grow with the timeout")
+	}
+	if !(pts[0].WithDPM.Throughput < pts[2].WithDPM.Throughput) {
+		t.Error("throughput should grow with the timeout")
+	}
+}
+
+func TestFig3GeneralBimodal(t *testing.T) {
+	settings := core.SimSettings{RunLength: 4000, Replications: 6}
+	pts, err := Fig3General([]float64{2, 10, 20}, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, knee, large := pts[0], pts[1], pts[2]
+	// Region 1 (timeout below the ~11.3 ms mean idle period): flat
+	// penalty, energy grows with the timeout.
+	if !(small.WithDPM.EnergyPerRequest < knee.WithDPM.EnergyPerRequest) {
+		t.Errorf("energy should grow with timeout below the knee: %v !< %v",
+			small.WithDPM.EnergyPerRequest, knee.WithDPM.EnergyPerRequest)
+	}
+	// Near the knee the DPM is counterproductive (paper's key finding).
+	if !(knee.WithDPM.EnergyPerRequest > knee.NoDPM.EnergyPerRequest) {
+		t.Errorf("DPM should be counterproductive near the knee: %v !> %v",
+			knee.WithDPM.EnergyPerRequest, knee.NoDPM.EnergyPerRequest)
+	}
+	// Region 2 (timeout above the idle period): DPM has no effect.
+	relDiff := func(a, b float64) float64 {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d / b
+	}
+	if relDiff(large.WithDPM.Throughput, large.NoDPM.Throughput) > 0.02 {
+		t.Errorf("above the knee the DPM should be inert: thr %v vs %v",
+			large.WithDPM.Throughput, large.NoDPM.Throughput)
+	}
+	if !(small.WithDPM.Throughput < large.WithDPM.Throughput) {
+		t.Error("throughput penalty should vanish above the knee")
+	}
+}
+
+func TestFig4MarkovShapes(t *testing.T) {
+	pts, err := Fig4Markov([]float64{25, 100, 400}, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy per frame decreases with the awake period and is always
+	// below the no-DPM level.
+	for _, pt := range pts {
+		if !(pt.WithDPM.EnergyPerFrame < pt.NoDPM.EnergyPerFrame) {
+			t.Errorf("period %v: energy %v !< no-DPM %v",
+				pt.Period, pt.WithDPM.EnergyPerFrame, pt.NoDPM.EnergyPerFrame)
+		}
+	}
+	if !(pts[2].WithDPM.EnergyPerFrame < pts[0].WithDPM.EnergyPerFrame) {
+		t.Error("energy per frame should decrease with the awake period")
+	}
+	// Miss grows, quality falls.
+	if !(pts[2].WithDPM.Miss > pts[0].WithDPM.Miss) {
+		t.Error("miss should increase with the awake period")
+	}
+	if !(pts[2].WithDPM.Quality < pts[0].WithDPM.Quality) {
+		t.Error("quality should decrease with the awake period")
+	}
+	// Loss grows for large periods.
+	if !(pts[2].WithDPM.Loss > pts[0].WithDPM.Loss) {
+		t.Error("loss should increase for large awake periods")
+	}
+}
+
+func TestFig5ValidationConsistency(t *testing.T) {
+	pts, err := Fig5Validation([]float64{5, 20},
+		core.SimSettings{RunLength: 8000, Replications: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		// Either inside the 90% CI or within a small relative error —
+		// the paper's "good agreement".
+		if !pt.WithinCI && pt.RelErrDPM > 0.05 {
+			t.Errorf("timeout %v: exact %v vs sim %v (rel err %v)",
+				pt.Timeout, pt.ExactDPM, pt.SimDPM, pt.RelErrDPM)
+		}
+	}
+}
+
+func TestFig6GeneralShapes(t *testing.T) {
+	settings := core.SimSettings{RunLength: 60000, Warmup: 30000, Replications: 4}
+	pts, err := Fig6General([]float64{50, 800}, Full, settings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallP, largeP := pts[0], pts[1]
+	// Plateau: small awake periods have no loss and (near-)perfect
+	// quality while already saving sizeable energy.
+	if smallP.WithDPM.Loss != 0 {
+		t.Errorf("no loss expected at 50 ms, got %v", smallP.WithDPM.Loss)
+	}
+	if smallP.WithDPM.Quality < 0.95 {
+		t.Errorf("quality at 50 ms should stay high, got %v", smallP.WithDPM.Quality)
+	}
+	if !(smallP.WithDPM.EnergyPerFrame < 0.6*smallP.NoDPM.EnergyPerFrame) {
+		t.Errorf("at 50 ms expect >40%% saving: %v vs %v",
+			smallP.WithDPM.EnergyPerFrame, smallP.NoDPM.EnergyPerFrame)
+	}
+	// Beyond the client-buffer cushion, quality collapses and loss
+	// appears.
+	if !(largeP.WithDPM.Miss > smallP.WithDPM.Miss+0.05) {
+		t.Errorf("miss should rise at 800 ms: %v vs %v",
+			largeP.WithDPM.Miss, smallP.WithDPM.Miss)
+	}
+	if !(largeP.WithDPM.Loss > 0) {
+		t.Error("loss should appear at 800 ms")
+	}
+}
+
+func TestFig7TradeoffMonotone(t *testing.T) {
+	curves, err := Fig7Tradeoff([]float64{1, 8, 20},
+		core.SimSettings{RunLength: 3000, Replications: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves.Markov) != 3 || len(curves.General) != 3 {
+		t.Fatalf("curve sizes: %d, %d", len(curves.Markov), len(curves.General))
+	}
+	// On the Markov curve, smaller timeouts trade energy for waiting:
+	// first point has lowest energy and highest waiting time.
+	m := curves.Markov
+	if !(m[0].Y < m[2].Y && m[0].X > m[2].X) {
+		t.Errorf("Markov tradeoff not monotone: %+v", m)
+	}
+	// The general curve near the knee contains Pareto-dominated points
+	// (paper's observation on Fig. 7).
+	if len(ParetoDominated(curves.General)) == 0 {
+		t.Errorf("expected dominated points on the general curve: %+v", curves.General)
+	}
+}
+
+func TestFig8TradeoffShapes(t *testing.T) {
+	curves, err := Fig8Tradeoff([]float64{50, 400}, Quick,
+		core.SimSettings{RunLength: 30000, Warmup: 5000, Replications: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := curves.Markov
+	// Longer awake period: lower energy, higher miss.
+	if !(m[1].Y < m[0].Y && m[1].X > m[0].X) {
+		t.Errorf("Markov streaming tradeoff not monotone: %+v", m)
+	}
+}
+
+func TestParetoDominated(t *testing.T) {
+	pts := []TradeoffPoint{
+		{X: 1, Y: 5},
+		{X: 2, Y: 6}, // dominated by the first
+		{X: 3, Y: 1},
+	}
+	dom := ParetoDominated(pts)
+	if len(dom) != 1 || dom[0] != 1 {
+		t.Errorf("ParetoDominated = %v, want [1]", dom)
+	}
+	if ParetoDominated(pts[:1]) != nil {
+		t.Error("single point cannot be dominated")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	header := []string{"a", "bb"}
+	rows := [][]string{{"1", "2"}, {"333", "4"}}
+	table := FormatTable(header, rows)
+	if !strings.Contains(table, "a    bb") || !strings.Contains(table, "333") {
+		t.Errorf("table:\n%s", table)
+	}
+	csv := FormatCSV(header, rows)
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestRowRenderers(t *testing.T) {
+	pts := []RPCPoint{{Timeout: 5}}
+	h, rows := Fig3Rows(pts)
+	if len(h) != 7 || len(rows) != 1 || rows[0][0] != "5" {
+		t.Errorf("Fig3Rows: %v %v", h, rows)
+	}
+	sp := []StreamingPoint{{Period: 100}}
+	h, rows = Fig4Rows(sp)
+	if len(h) != 9 || len(rows) != 1 {
+		t.Errorf("Fig4Rows: %v %v", h, rows)
+	}
+	vp := []ValidationPoint{{Timeout: 5, WithinCI: true}}
+	h, rows = Fig5Rows(vp)
+	if len(h) != 8 || rows[0][6] != "yes" {
+		t.Errorf("Fig5Rows: %v %v", h, rows)
+	}
+	tc := &TradeoffCurves{
+		Markov:  []TradeoffPoint{{Knob: 1, X: 2, Y: 3}},
+		General: []TradeoffPoint{{Knob: 1, X: 2, Y: 4}},
+	}
+	h, rows = TradeoffRows(tc, "x", "y")
+	if len(h) != 4 || len(rows) != 2 || rows[1][1] != "general" {
+		t.Errorf("TradeoffRows: %v %v", h, rows)
+	}
+}
+
+func TestPolicyComparisonOrderings(t *testing.T) {
+	pts, err := PolicyComparison(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]RPCMetrics, len(pts))
+	for _, pt := range pts {
+		byName[pt.Policy.String()] = pt.Metrics
+	}
+	none, trivial := byName["none"], byName["trivial"]
+	timeout, predictive := byName["timeout"], byName["predictive"]
+	// Every DPM policy saves energy over the baseline.
+	for name, m := range byName {
+		if name == "none" {
+			continue
+		}
+		if !(m.EnergyPerRequest < none.EnergyPerRequest) {
+			t.Errorf("%s should save energy: %v !< %v", name, m.EnergyPerRequest, none.EnergyPerRequest)
+		}
+		if !(m.Throughput < none.Throughput) {
+			t.Errorf("%s should cost throughput: %v !< %v", name, m.Throughput, none.Throughput)
+		}
+	}
+	// Trivial is the most aggressive (most saving, worst latency);
+	// predictive the most conservative among the active policies.
+	if !(trivial.EnergyPerRequest < timeout.EnergyPerRequest &&
+		timeout.EnergyPerRequest < predictive.EnergyPerRequest) {
+		t.Errorf("energy ordering trivial < timeout < predictive violated: %v %v %v",
+			trivial.EnergyPerRequest, timeout.EnergyPerRequest, predictive.EnergyPerRequest)
+	}
+	if !(predictive.WaitingTime < timeout.WaitingTime &&
+		timeout.WaitingTime < trivial.WaitingTime) {
+		t.Errorf("waiting ordering predictive < timeout < trivial violated: %v %v %v",
+			predictive.WaitingTime, timeout.WaitingTime, trivial.WaitingTime)
+	}
+	h, rows := PolicyRows(pts)
+	if len(h) != 4 || len(rows) != 4 {
+		t.Errorf("PolicyRows shape: %v %v", h, rows)
+	}
+}
+
+func TestBatteryLifetime(t *testing.T) {
+	pts, err := BatteryLifetime(2000, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	byName := make(map[string]BatteryPoint, len(pts))
+	for _, pt := range pts {
+		byName[pt.Policy.String()] = pt
+	}
+	// Every DPM policy extends the battery lifetime over the baseline.
+	none := byName["none"]
+	for name, pt := range byName {
+		if pt.Lifetime <= 0 || pt.RequestsServed <= 0 || pt.MeanPower <= 0 {
+			t.Errorf("%s: degenerate point %+v", name, pt)
+		}
+		if name == "none" {
+			continue
+		}
+		if !(pt.Lifetime > none.Lifetime) {
+			t.Errorf("%s should outlive the baseline: %v !> %v", name, pt.Lifetime, none.Lifetime)
+		}
+	}
+	// The most aggressive policy lives longest.
+	if !(byName["trivial"].Lifetime > byName["predictive"].Lifetime) {
+		t.Errorf("trivial should outlive predictive: %v !> %v",
+			byName["trivial"].Lifetime, byName["predictive"].Lifetime)
+	}
+	// But the baseline serves requests fastest: mean power ordering is
+	// the reverse of lifetime ordering.
+	if !(none.MeanPower > byName["trivial"].MeanPower) {
+		t.Errorf("baseline should draw more power: %v !> %v",
+			none.MeanPower, byName["trivial"].MeanPower)
+	}
+	h, rows := BatteryRows(pts)
+	if len(h) != 4 || len(rows) != 4 {
+		t.Errorf("BatteryRows shape: %v %v", h, rows)
+	}
+	if _, err := BatteryLifetime(0, 5, 20); err == nil {
+		t.Error("zero budget should error")
+	}
+}
+
+func TestStreamingStartupTransient(t *testing.T) {
+	pts, err := StreamingStartupTransient([]float64{50, 500, 3000}, 100, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// At stream start the buffer is empty with near certainty; the
+	// initial frames fill it, so the empty probability falls over time.
+	if !(pts[0].PEmptyNoDPM > 0.5) {
+		t.Errorf("buffer should start (nearly) empty: %v", pts[0].PEmptyNoDPM)
+	}
+	if !(pts[2].PEmptyNoDPM < pts[0].PEmptyNoDPM) {
+		t.Errorf("empty probability should fall during start-up: %v !< %v",
+			pts[2].PEmptyNoDPM, pts[0].PEmptyNoDPM)
+	}
+	// Probabilities are probabilities.
+	for _, pt := range pts {
+		for _, p := range []float64{pt.PEmptyDPM, pt.PEmptyNoDPM} {
+			if p < -1e-9 || p > 1+1e-9 {
+				t.Errorf("probability out of range at t=%v: %v", pt.Time, p)
+			}
+		}
+	}
+	h, rows := TransientRows(pts)
+	if len(h) != 3 || len(rows) != 3 {
+		t.Errorf("TransientRows shape: %v %v", h, rows)
+	}
+	if _, err := StreamingStartupTransient([]float64{100, 50}, 100, Quick); err == nil {
+		t.Error("decreasing sample times should error")
+	}
+}

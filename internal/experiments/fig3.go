@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/lts"
+	"repro/internal/models"
+)
+
+// RPCMetrics are the three rpc performance indices of paper Fig. 3,
+// derived from the raw rewards: throughput (completed requests per ms),
+// mean waiting time per request (ms, by Little's law from the waiting
+// probability), and energy per request.
+type RPCMetrics struct {
+	Throughput       float64
+	WaitingTime      float64
+	EnergyPerRequest float64
+}
+
+// RPCPoint is one x-axis point of Fig. 3: the DPM shutdown timeout (ms)
+// with the with/without-DPM metric pairs.
+type RPCPoint struct {
+	Timeout float64
+	// WithDPM and NoDPM carry the two systems' metrics.
+	WithDPM, NoDPM RPCMetrics
+}
+
+// rpcMetricsFromValues derives the Fig. 3 indices from raw rewards.
+func rpcMetricsFromValues(v map[string]float64) RPCMetrics {
+	thr := v["throughput"]
+	m := RPCMetrics{Throughput: thr}
+	if thr > 0 {
+		m.WaitingTime = v["waiting_time"] / thr
+		m.EnergyPerRequest = v["energy"] / thr
+	}
+	return m
+}
+
+// DefaultRPCTimeouts is the paper's Fig. 3 sweep (0–25 ms).
+func DefaultRPCTimeouts() []float64 {
+	return []float64{0, 0.5, 1, 2, 3, 5, 7.5, 10, 12.5, 15, 20, 25}
+}
+
+// Fig3Markov reproduces the left-hand side of paper Fig. 3: the Markovian
+// rpc comparison across DPM shutdown timeouts.
+func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
+	if timeouts == nil {
+		timeouts = DefaultRPCTimeouts()
+	}
+	// The no-DPM system does not depend on the timeout: solve it once.
+	p0 := models.DefaultRPCParams()
+	p0.WithDPM = false
+	a0, err := models.BuildRPCRevised(p0)
+	if err != nil {
+		return nil, err
+	}
+	rep0, err := core.Phase2(a0, models.RPCMeasures(p0), lts.GenerateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	base := rpcMetricsFromValues(rep0.Values)
+
+	out := make([]RPCPoint, 0, len(timeouts))
+	for _, T := range timeouts {
+		p := models.DefaultRPCParams()
+		p.ShutdownTimeout = T
+		a, err := models.BuildRPCRevised(p)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Phase2(a, models.RPCMeasures(p), lts.GenerateOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RPCPoint{
+			Timeout: T,
+			WithDPM: rpcMetricsFromValues(rep.Values),
+			NoDPM:   base,
+		})
+	}
+	return out, nil
+}
+
+// Fig3General reproduces the right-hand side of paper Fig. 3: the general
+// rpc model (deterministic timings, Gaussian channel) simulated across
+// deterministic shutdown timeouts.
+func Fig3General(timeouts []float64, settings core.SimSettings) ([]RPCPoint, error) {
+	if timeouts == nil {
+		timeouts = DefaultRPCTimeouts()
+	}
+	applyRPCSimDefaults(&settings)
+
+	p0 := models.DefaultRPCParams()
+	p0.WithDPM = false
+	a0, err := models.BuildRPCRevised(p0)
+	if err != nil {
+		return nil, err
+	}
+	rep0, err := core.Phase3(a0, models.RPCGeneralDistributions(p0), models.RPCMeasures(p0), settings)
+	if err != nil {
+		return nil, err
+	}
+	base := rpcMetricsFromEstimates(rep0)
+
+	out := make([]RPCPoint, 0, len(timeouts))
+	for _, T := range timeouts {
+		p := models.DefaultRPCParams()
+		p.ShutdownTimeout = T
+		a, err := models.BuildRPCRevised(p)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Phase3(a, models.RPCGeneralDistributions(p), models.RPCMeasures(p), settings)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RPCPoint{
+			Timeout: T,
+			WithDPM: rpcMetricsFromEstimates(rep),
+			NoDPM:   base,
+		})
+	}
+	return out, nil
+}
+
+func rpcMetricsFromEstimates(rep *core.Phase3Report) RPCMetrics {
+	v := map[string]float64{
+		"throughput":   rep.Estimates["throughput"].Mean,
+		"waiting_time": rep.Estimates["waiting_time"].Mean,
+		"energy":       rep.Estimates["energy"].Mean,
+	}
+	return rpcMetricsFromValues(v)
+}
+
+// applyRPCSimDefaults fills zero simulation settings with values sized for
+// the rpc model (times in ms).
+func applyRPCSimDefaults(s *core.SimSettings) {
+	if s.RunLength == 0 {
+		s.RunLength = 20000
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 500
+	}
+	if s.Replications == 0 {
+		s.Replications = 30
+	}
+	if s.Seed == 0 {
+		s.Seed = 20040628 // DSN 2004
+	}
+}
+
+// Fig3Rows renders Fig. 3 points as table rows.
+func Fig3Rows(points []RPCPoint) ([]string, [][]string) {
+	header := []string{"timeout_ms",
+		"thr_dpm", "thr_nodpm",
+		"wait_dpm", "wait_nodpm",
+		"energy_per_req_dpm", "energy_per_req_nodpm"}
+	rows := make([][]string, 0, len(points))
+	for _, pt := range points {
+		rows = append(rows, []string{
+			f(pt.Timeout),
+			f(pt.WithDPM.Throughput), f(pt.NoDPM.Throughput),
+			f(pt.WithDPM.WaitingTime), f(pt.NoDPM.WaitingTime),
+			f(pt.WithDPM.EnergyPerRequest), f(pt.NoDPM.EnergyPerRequest),
+		})
+	}
+	return header, rows
+}

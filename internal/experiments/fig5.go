@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/lts"
+	"repro/internal/models"
+	"repro/internal/stats"
+)
+
+// ValidationPoint is one x-axis point of paper Fig. 5: the DPM shutdown
+// timeout with the analytic (Markovian) server energy consumption and the
+// simulated estimate of the general model run with exponential
+// distributions, plus the no-DPM pair.
+type ValidationPoint struct {
+	Timeout float64
+	// ExactDPM and SimDPM compare the with-DPM system.
+	ExactDPM float64
+	SimDPM   stats.Interval
+	// ExactNoDPM and SimNoDPM compare the without-DPM system.
+	ExactNoDPM float64
+	SimNoDPM   stats.Interval
+	// WithinCI reports whether both exact values fall inside their 90%
+	// intervals.
+	WithinCI bool
+	// RelErrDPM is the relative error of the with-DPM estimate.
+	RelErrDPM float64
+}
+
+// Fig5Validation reproduces paper Fig. 5: the cross-validation of the
+// general rpc model against the Markovian one. The general model is
+// simulated with exponential distributions matching the Markovian rates
+// (30 runs, 90% confidence intervals in the paper's setting) and the
+// server energy consumption is compared with the analytic solution.
+func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]ValidationPoint, error) {
+	if timeouts == nil {
+		timeouts = []float64{1, 5, 10, 15, 20, 25}
+	}
+	applyRPCSimDefaults(&settings)
+
+	solve := func(p models.RPCParams) (float64, stats.Interval, error) {
+		a, err := models.BuildRPCRevised(p)
+		if err != nil {
+			return 0, stats.Interval{}, err
+		}
+		exact, err := core.Phase2(a, models.RPCMeasures(p), lts.GenerateOptions{})
+		if err != nil {
+			return 0, stats.Interval{}, err
+		}
+		simRep, err := core.Phase3(a, models.RPCExponentialDistributions(p),
+			models.RPCMeasures(p), settings)
+		if err != nil {
+			return 0, stats.Interval{}, err
+		}
+		return exact.Values["energy"], simRep.Estimates["energy"], nil
+	}
+
+	p0 := models.DefaultRPCParams()
+	p0.WithDPM = false
+	exact0, sim0, err := solve(p0)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]ValidationPoint, 0, len(timeouts))
+	for _, T := range timeouts {
+		p := models.DefaultRPCParams()
+		p.ShutdownTimeout = T
+		exact1, sim1, err := solve(p)
+		if err != nil {
+			return nil, err
+		}
+		relErr := 0.0
+		if exact1 != 0 {
+			relErr = abs(sim1.Mean-exact1) / exact1
+		}
+		out = append(out, ValidationPoint{
+			Timeout:    T,
+			ExactDPM:   exact1,
+			SimDPM:     sim1,
+			ExactNoDPM: exact0,
+			SimNoDPM:   sim0,
+			WithinCI:   sim1.Contains(exact1) && sim0.Contains(exact0),
+			RelErrDPM:  relErr,
+		})
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Fig5Rows renders validation points as table rows.
+func Fig5Rows(points []ValidationPoint) ([]string, [][]string) {
+	header := []string{"timeout_ms",
+		"energy_exact_dpm", "energy_sim_dpm", "ci_halfwidth",
+		"energy_exact_nodpm", "energy_sim_nodpm",
+		"within_ci", "rel_err_dpm"}
+	rows := make([][]string, 0, len(points))
+	for _, pt := range points {
+		rows = append(rows, []string{
+			f(pt.Timeout),
+			f(pt.ExactDPM), f(pt.SimDPM.Mean), f(pt.SimDPM.HalfWidth),
+			f(pt.ExactNoDPM), f(pt.SimNoDPM.Mean),
+			boolStr(pt.WithinCI), f(pt.RelErrDPM),
+		})
+	}
+	return header, rows
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/lts"
+	"repro/internal/models"
+)
+
+// PolicyPoint compares one DPM decision scheme on the Markovian rpc model
+// (an ablation the paper's Sect. 2.1 policy taxonomy motivates).
+type PolicyPoint struct {
+	// Policy names the scheme.
+	Policy models.Policy
+	// Metrics holds the Fig. 3 indices under the scheme.
+	Metrics RPCMetrics
+}
+
+// PolicyComparison solves the Markovian rpc model under every DPM policy
+// at the given shutdown timeout/period and returns the three Fig. 3
+// indices for each, with PolicyNone as the baseline.
+func PolicyComparison(timeout float64) ([]PolicyPoint, error) {
+	policies := []models.Policy{
+		models.PolicyNone,
+		models.PolicyTrivial,
+		models.PolicyTimeout,
+		models.PolicyPredictive,
+	}
+	out := make([]PolicyPoint, 0, len(policies))
+	for _, pol := range policies {
+		p := models.DefaultRPCParams()
+		p.Policy = pol
+		p.WithDPM = pol != models.PolicyNone
+		p.ShutdownTimeout = timeout
+		a, err := models.BuildRPCRevised(p)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Phase2(a, models.RPCMeasures(p), lts.GenerateOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PolicyPoint{
+			Policy:  pol,
+			Metrics: rpcMetricsFromValues(rep.Values),
+		})
+	}
+	return out, nil
+}
+
+// PolicyRows renders the comparison as table rows.
+func PolicyRows(points []PolicyPoint) ([]string, [][]string) {
+	header := []string{"policy", "throughput", "waiting_time", "energy_per_request"}
+	rows := make([][]string, 0, len(points))
+	for _, pt := range points {
+		rows = append(rows, []string{
+			pt.Policy.String(),
+			f(pt.Metrics.Throughput),
+			f(pt.Metrics.WaitingTime),
+			f(pt.Metrics.EnergyPerRequest),
+		})
+	}
+	return header, rows
+}

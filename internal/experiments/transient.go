@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/elab"
+	"repro/internal/lts"
+	"repro/internal/models"
+)
+
+// TransientPoint is one time sample of the streaming start-up analysis:
+// the probability that the client buffer is empty (a fetch arriving now
+// would miss) at time t after stream start, with and without the DPM.
+type TransientPoint struct {
+	// Time is the sample instant (ms after start).
+	Time float64
+	// PEmptyDPM and PEmptyNoDPM are the buffer-empty probabilities.
+	PEmptyDPM, PEmptyNoDPM float64
+}
+
+// StreamingStartupTransient analyses the start-up phase of the streaming
+// system with the transient (uniformization) solver: how quickly the
+// client-side buffer fills during the initial delay, and whether the PSP
+// DPM perturbs that transient. An extension beyond the paper's
+// steady-state-only Markovian analysis.
+func StreamingStartupTransient(times []float64, awakePeriod float64, scale Scale) ([]TransientPoint, error) {
+	if len(times) == 0 {
+		times = []float64{50, 150, 300, 500, 700, 1000, 1500, 2500, 4000}
+	}
+	solve := func(withDPM bool) (*ctmc.CTMC, error) {
+		p := streamingParams(scale)
+		p.WithDPM = withDPM
+		p.AwakePeriod = awakePeriod
+		a, err := models.BuildStreaming(p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := elab.Elaborate(a)
+		if err != nil {
+			return nil, err
+		}
+		l, err := lts.Generate(m, lts.GenerateOptions{
+			Predicates: []lts.StatePred{{Instance: "B", Action: "miss_frame"}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ctmc.Build(l)
+	}
+	withDPM, err := solve(true)
+	if err != nil {
+		return nil, err
+	}
+	noDPM, err := solve(false)
+	if err != nil {
+		return nil, err
+	}
+
+	pEmpty := func(c *ctmc.CTMC, pi []float64) (float64, error) {
+		return c.ProbLocallyEnabled(pi, "B.miss_frame")
+	}
+
+	out := make([]TransientPoint, 0, len(times))
+	// Evolve incrementally between sample instants.
+	piD := append([]float64(nil), withDPM.Initial...)
+	piN := append([]float64(nil), noDPM.Initial...)
+	prev := 0.0
+	for _, t := range times {
+		if t < prev {
+			return nil, fmt.Errorf("experiments: sample times must be non-decreasing")
+		}
+		dt := t - prev
+		piD = withDPM.TransientFrom(piD, dt, 1e-9)
+		piN = noDPM.TransientFrom(piN, dt, 1e-9)
+		prev = t
+		pd, err := pEmpty(withDPM, piD)
+		if err != nil {
+			return nil, err
+		}
+		pn, err := pEmpty(noDPM, piN)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TransientPoint{Time: t, PEmptyDPM: pd, PEmptyNoDPM: pn})
+	}
+	return out, nil
+}
+
+// TransientRows renders transient points as table rows.
+func TransientRows(points []TransientPoint) ([]string, [][]string) {
+	header := []string{"time_ms", "p_buffer_empty_dpm", "p_buffer_empty_nodpm"}
+	rows := make([][]string, 0, len(points))
+	for _, pt := range points {
+		rows = append(rows, []string{f(pt.Time), f(pt.PEmptyDPM), f(pt.PEmptyNoDPM)})
+	}
+	return header, rows
+}

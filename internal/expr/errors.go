@@ -1,0 +1,33 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDivisionByZero is returned when evaluating x/0 or x%0.
+var ErrDivisionByZero = errors.New("expr: division by zero")
+
+// UndefinedVarError reports a reference to an unbound parameter.
+type UndefinedVarError struct {
+	// Name is the unresolved variable name.
+	Name string
+}
+
+// Error implements error.
+func (e *UndefinedVarError) Error() string {
+	return fmt.Sprintf("expr: undefined variable %q", e.Name)
+}
+
+// TypeError reports an operand of the wrong type.
+type TypeError struct {
+	// Op is the operator whose operand was mistyped.
+	Op Op
+	// Got is the actual operand type; Want the required one.
+	Got, Want Type
+}
+
+// Error implements error.
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("expr: operator %v requires %v operand, got %v", e.Op, e.Want, e.Got)
+}

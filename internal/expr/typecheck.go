@@ -1,0 +1,86 @@
+package expr
+
+import "fmt"
+
+// TypeEnv maps parameter names to their declared types.
+type TypeEnv map[string]Type
+
+// Check infers the type of e under the given type environment, reporting
+// operator/operand mismatches and references to undeclared parameters.
+func Check(e Expr, env TypeEnv) (Type, error) {
+	switch x := e.(type) {
+	case IntLit:
+		return TypeInt, nil
+	case BoolLit:
+		return TypeBool, nil
+	case Var:
+		t, ok := env[x.Name]
+		if !ok {
+			return 0, &UndefinedVarError{Name: x.Name}
+		}
+		return t, nil
+	case Unary:
+		t, err := Check(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case OpNeg:
+			if t != TypeInt {
+				return 0, &TypeError{Op: x.Op, Got: t, Want: TypeInt}
+			}
+			return TypeInt, nil
+		case OpNot:
+			if t != TypeBool {
+				return 0, &TypeError{Op: x.Op, Got: t, Want: TypeBool}
+			}
+			return TypeBool, nil
+		default:
+			return 0, fmt.Errorf("expr: invalid unary operator %v", x.Op)
+		}
+	case Binary:
+		lt, err := Check(x.L, env)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := Check(x.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			if lt != TypeInt {
+				return 0, &TypeError{Op: x.Op, Got: lt, Want: TypeInt}
+			}
+			if rt != TypeInt {
+				return 0, &TypeError{Op: x.Op, Got: rt, Want: TypeInt}
+			}
+			return TypeInt, nil
+		case OpLt, OpLe, OpGt, OpGe:
+			if lt != TypeInt {
+				return 0, &TypeError{Op: x.Op, Got: lt, Want: TypeInt}
+			}
+			if rt != TypeInt {
+				return 0, &TypeError{Op: x.Op, Got: rt, Want: TypeInt}
+			}
+			return TypeBool, nil
+		case OpEq, OpNe:
+			if lt != rt {
+				return 0, &TypeError{Op: x.Op, Got: rt, Want: lt}
+			}
+			return TypeBool, nil
+		case OpAnd, OpOr:
+			if lt != TypeBool {
+				return 0, &TypeError{Op: x.Op, Got: lt, Want: TypeBool}
+			}
+			if rt != TypeBool {
+				return 0, &TypeError{Op: x.Op, Got: rt, Want: TypeBool}
+			}
+			return TypeBool, nil
+		default:
+			return 0, fmt.Errorf("expr: invalid binary operator %v", x.Op)
+		}
+	default:
+		return 0, fmt.Errorf("expr: unknown expression node %T", e)
+	}
+}

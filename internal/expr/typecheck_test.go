@@ -1,0 +1,151 @@
+package expr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckTypes(t *testing.T) {
+	env := TypeEnv{"n": TypeInt, "b": TypeBool}
+	tests := []struct {
+		name string
+		e    Expr
+		want Type
+	}{
+		{"int-lit", Int(1), TypeInt},
+		{"bool-lit", Bool(true), TypeBool},
+		{"int-var", Ref("n"), TypeInt},
+		{"bool-var", Ref("b"), TypeBool},
+		{"add", Bin(OpAdd, Ref("n"), Int(1)), TypeInt},
+		{"sub", Bin(OpSub, Int(1), Int(2)), TypeInt},
+		{"mul", Bin(OpMul, Ref("n"), Ref("n")), TypeInt},
+		{"div", Bin(OpDiv, Ref("n"), Int(2)), TypeInt},
+		{"mod", Bin(OpMod, Ref("n"), Int(2)), TypeInt},
+		{"lt", Bin(OpLt, Ref("n"), Int(3)), TypeBool},
+		{"le", Bin(OpLe, Ref("n"), Int(3)), TypeBool},
+		{"gt", Bin(OpGt, Ref("n"), Int(3)), TypeBool},
+		{"ge", Bin(OpGe, Ref("n"), Int(3)), TypeBool},
+		{"eq-int", Bin(OpEq, Ref("n"), Int(3)), TypeBool},
+		{"eq-bool", Bin(OpEq, Ref("b"), Bool(false)), TypeBool},
+		{"ne", Bin(OpNe, Ref("n"), Int(3)), TypeBool},
+		{"and", Bin(OpAnd, Ref("b"), Bool(true)), TypeBool},
+		{"or", Bin(OpOr, Ref("b"), Bool(true)), TypeBool},
+		{"not", Un(OpNot, Ref("b")), TypeBool},
+		{"neg", Un(OpNeg, Ref("n")), TypeInt},
+		{"nested", Bin(OpAnd, Bin(OpLt, Ref("n"), Int(3)), Un(OpNot, Ref("b"))), TypeBool},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Check(tt.e, env)
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Check = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	env := TypeEnv{"n": TypeInt, "b": TypeBool}
+	tests := []struct {
+		name string
+		e    Expr
+	}{
+		{"undefined", Ref("zzz")},
+		{"add-bool-l", Bin(OpAdd, Ref("b"), Int(1))},
+		{"add-bool-r", Bin(OpAdd, Int(1), Ref("b"))},
+		{"lt-bool-l", Bin(OpLt, Ref("b"), Int(1))},
+		{"lt-bool-r", Bin(OpLt, Int(1), Ref("b"))},
+		{"eq-mixed", Bin(OpEq, Ref("n"), Ref("b"))},
+		{"and-int-l", Bin(OpAnd, Ref("n"), Ref("b"))},
+		{"and-int-r", Bin(OpAnd, Ref("b"), Ref("n"))},
+		{"not-int", Un(OpNot, Ref("n"))},
+		{"neg-bool", Un(OpNeg, Ref("b"))},
+		{"nested-err", Bin(OpAdd, Bin(OpAdd, Ref("zzz"), Int(1)), Int(1))},
+		{"nested-err-r", Bin(OpAdd, Int(1), Bin(OpAdd, Ref("zzz"), Int(1)))},
+		{"under-not", Un(OpNot, Ref("zzz"))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Check(tt.e, env); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	// Error types are preserved.
+	_, err := Check(Ref("zzz"), env)
+	var ue *UndefinedVarError
+	if !errors.As(err, &ue) {
+		t.Errorf("want UndefinedVarError, got %v", err)
+	}
+	_, err = Check(Un(OpNot, Int(1)), env)
+	var te *TypeError
+	if !errors.As(err, &te) {
+		t.Errorf("want TypeError, got %v", err)
+	}
+}
+
+func TestCheckInvalidOperators(t *testing.T) {
+	if _, err := Check(Unary{Op: OpAdd, X: Int(1)}, nil); err == nil {
+		t.Error("invalid unary operator should fail")
+	}
+	if _, err := Check(Binary{Op: OpNot, L: Int(1), R: Int(1)}, nil); err == nil {
+		t.Error("invalid binary operator should fail")
+	}
+	if _, err := Check(nil, nil); err == nil {
+		t.Error("nil expression should fail")
+	}
+}
+
+func TestEvalInvalidOperators(t *testing.T) {
+	if _, err := (Unary{Op: OpAdd, X: Int(1)}).Eval(nil); err == nil {
+		t.Error("invalid unary operator should fail at eval")
+	}
+	if _, err := (Binary{Op: OpNot, L: Int(1), R: Int(1)}).Eval(nil); err == nil {
+		t.Error("invalid binary operator should fail at eval")
+	}
+	// Comparison operand errors at eval time.
+	if _, err := (Binary{Op: OpLt, L: Bool(true), R: Int(1)}).Eval(nil); err == nil {
+		t.Error("boolean < should fail")
+	}
+	if _, err := (Binary{Op: OpLt, L: Int(1), R: Bool(true)}).Eval(nil); err == nil {
+		t.Error("< boolean should fail")
+	}
+	// Propagation of operand evaluation errors.
+	if _, err := (Binary{Op: OpAdd, L: Ref("x"), R: Int(1)}).Eval(MapEnv{}); err == nil {
+		t.Error("left operand error should propagate")
+	}
+	if _, err := (Binary{Op: OpAdd, L: Int(1), R: Ref("x")}).Eval(MapEnv{}); err == nil {
+		t.Error("right operand error should propagate")
+	}
+	if _, err := (Unary{Op: OpNeg, X: Ref("x")}).Eval(MapEnv{}); err == nil {
+		t.Error("unary operand error should propagate")
+	}
+	if _, err := (Binary{Op: OpAnd, L: Bool(true), R: Ref("x")}).Eval(MapEnv{}); err == nil {
+		t.Error("and right operand error should propagate")
+	}
+	if _, err := (Binary{Op: OpOr, L: Bool(false), R: Ref("x")}).Eval(MapEnv{}); err == nil {
+		t.Error("or right operand error should propagate")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpAdd: "+", OpEq: "=", OpAnd: "and", OpNot: "not",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String = %q, want %q", op, got, want)
+		}
+	}
+	if Op(99).String() != "?" {
+		t.Error("unknown op should print ?")
+	}
+	if Type(99).String() != "unknown" {
+		t.Error("unknown type should print unknown")
+	}
+	if (Value{}).String() != "<invalid>" {
+		t.Error("invalid value should print <invalid>")
+	}
+}

@@ -1,0 +1,227 @@
+package hml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lts"
+	"repro/internal/rates"
+)
+
+// build constructs an LTS from (src, label, dst) triples; "tau" is the
+// invisible action.
+func build(n, initial int, edges [][3]any) *lts.LTS {
+	l := lts.New(n)
+	l.Initial = initial
+	for _, e := range edges {
+		src := e[0].(int)
+		label := e[1].(string)
+		dst := e[2].(int)
+		li := lts.TauIndex
+		if label != lts.TauName {
+			li = l.LabelIndex(label)
+		}
+		l.AddTransition(src, dst, li, rates.UntimedRate())
+	}
+	return l
+}
+
+func TestSatStrongDiamond(t *testing.T) {
+	// 0 -a-> 1 -b-> 2
+	l := build(3, 0, [][3]any{{0, "a", 1}, {1, "b", 2}})
+	c := NewChecker(l)
+	if !c.Sat(0, Diamond{Label: "a", F: True{}}) {
+		t.Error("<a>T should hold at 0")
+	}
+	if c.Sat(0, Diamond{Label: "b", F: True{}}) {
+		t.Error("<b>T should not hold at 0")
+	}
+	if !c.Sat(0, Diamond{Label: "a", F: Diamond{Label: "b", F: True{}}}) {
+		t.Error("<a><b>T should hold at 0")
+	}
+	if c.Sat(0, Diamond{Label: "zzz", F: True{}}) {
+		t.Error("unknown label should be unsatisfiable")
+	}
+}
+
+func TestSatWeakDiamond(t *testing.T) {
+	// 0 -tau-> 1 -a-> 2 -tau-> 3 -b-> 4
+	l := build(5, 0, [][3]any{
+		{0, "tau", 1}, {1, "a", 2}, {2, "tau", 3}, {3, "b", 4},
+	})
+	c := NewChecker(l)
+	if !c.Sat(0, DiamondWeak{Label: "a", F: True{}}) {
+		t.Error("<<a>>T should hold at 0 (through tau)")
+	}
+	if c.Sat(0, Diamond{Label: "a", F: True{}}) {
+		t.Error("strong <a>T should not hold at 0")
+	}
+	// <<a>> <<b>> T: after a, reach 2, tau to 3, then b.
+	if !c.Sat(0, DiamondWeak{Label: "a", F: DiamondWeak{Label: "b", F: True{}}}) {
+		t.Error("<<a>><<b>>T should hold at 0")
+	}
+	// Weak tau diamond: reachable by tau* only.
+	if !c.Sat(0, DiamondWeak{Label: "tau", F: DiamondWeak{Label: "a", F: True{}}}) {
+		t.Error("<<tau>><<a>>T should hold at 0")
+	}
+	if !c.Sat(2, DiamondWeak{Label: "tau", F: DiamondWeak{Label: "b", F: True{}}}) {
+		t.Error("<<tau>><<b>>T should hold at 2")
+	}
+}
+
+func TestSatNegationAndConjunction(t *testing.T) {
+	// 0 -a-> 1, 0 -b-> 2
+	l := build(3, 0, [][3]any{{0, "a", 1}, {0, "b", 2}})
+	c := NewChecker(l)
+	f := And{Fs: []Formula{
+		Diamond{Label: "a", F: True{}},
+		Diamond{Label: "b", F: True{}},
+		Not{F: Diamond{Label: "c", F: True{}}},
+	}}
+	if !c.Sat(0, f) {
+		t.Error("conjunction should hold at 0")
+	}
+	if c.Sat(1, f) {
+		t.Error("conjunction should fail at 1")
+	}
+	if !c.Sat(0, And{}) {
+		t.Error("empty conjunction is TRUE")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	f := DiamondWeak{
+		Label: "C.send_rpc_packet#RCS.get_packet",
+		F: Not{F: DiamondWeak{
+			Label: "RSC.deliver_packet#C.receive_result_packet",
+			F:     True{},
+		}},
+	}
+	got := Format(f)
+	want := "EXISTS_WEAK_TRANS(LABEL(C.send_rpc_packet#RCS.get_packet); " +
+		"REACHED_STATE_SAT(NOT(EXISTS_WEAK_TRANS(LABEL(RSC.deliver_packet#C.receive_result_packet); " +
+		"REACHED_STATE_SAT(TRUE)))))"
+	if got != want {
+		t.Errorf("Format:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestFormatVariants(t *testing.T) {
+	if got := Format(True{}); got != "TRUE" {
+		t.Errorf("TRUE = %q", got)
+	}
+	if got := Format(And{}); got != "TRUE" {
+		t.Errorf("empty AND = %q", got)
+	}
+	if got := Format(And{Fs: []Formula{True{}}}); got != "TRUE" {
+		t.Errorf("singleton AND = %q", got)
+	}
+	got := Format(And{Fs: []Formula{True{}, Not{F: True{}}}})
+	if got != "AND(TRUE; NOT(TRUE))" {
+		t.Errorf("AND = %q", got)
+	}
+	got = Format(Diamond{Label: "a", F: True{}})
+	if !strings.HasPrefix(got, "EXISTS_TRANS(LABEL(a);") {
+		t.Errorf("strong diamond = %q", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	f := DiamondWeak{Label: "a", F: Not{F: DiamondWeak{Label: "b", F: True{}}}}
+	if d := Depth(f); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+	if d := Depth(True{}); d != 0 {
+		t.Errorf("Depth(TRUE) = %d, want 0", d)
+	}
+	if d := Depth(And{Fs: []Formula{Diamond{Label: "a", F: True{}}, True{}}}); d != 1 {
+		t.Errorf("Depth(AND) = %d, want 1", d)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	formulas := []Formula{
+		True{},
+		Not{F: True{}},
+		And{Fs: []Formula{Diamond{Label: "a", F: True{}}, Not{F: True{}}}},
+		Diamond{Label: "A.a#B.b", F: True{}},
+		DiamondWeak{Label: "C.send_rpc_packet#RCS.get_packet",
+			F: Not{F: DiamondWeak{Label: "RSC.deliver_packet#C.receive_result_packet", F: True{}}}},
+		DiamondWeak{Label: "tau", F: And{Fs: []Formula{
+			Diamond{Label: "x", F: True{}},
+			DiamondWeak{Label: "y", F: Not{F: True{}}},
+		}}},
+	}
+	for _, f := range formulas {
+		text := Format(f)
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if Format(got) != text {
+			t.Errorf("round trip changed formula:\n in: %s\nout: %s", text, Format(got))
+		}
+	}
+}
+
+func TestParseWhitespaceTolerant(t *testing.T) {
+	src := ` EXISTS_WEAK_TRANS( LABEL( a#b ) ;
+		REACHED_STATE_SAT( NOT( TRUE ) ) ) `
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, ok := f.(DiamondWeak)
+	if !ok || dw.Label != "a#b" {
+		t.Errorf("parsed %#v", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"MAYBE",
+		"NOT(TRUE",
+		"AND()",
+		"AND(TRUE TRUE)",
+		"EXISTS_TRANS(TRUE)",
+		"EXISTS_TRANS(LABEL(); REACHED_STATE_SAT(TRUE))",
+		"EXISTS_TRANS(LABEL(a; REACHED_STATE_SAT(TRUE))",
+		"EXISTS_TRANS(LABEL(a); TRUE)",
+		"TRUE garbage",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// Property: Parse is a left inverse of Format for the checker's formulas.
+func TestParseFormatPropertyOnGenerated(t *testing.T) {
+	// Reuse the satisfaction test structures: build a few formulas via
+	// nesting and verify Parse∘Format is identity under Format.
+	base := []Formula{True{}, Not{F: True{}}}
+	for depth := 0; depth < 3; depth++ {
+		var next []Formula
+		for i, f := range base {
+			next = append(next,
+				Diamond{Label: "a", F: f},
+				DiamondWeak{Label: "s.x#t.y", F: f},
+				Not{F: f},
+				And{Fs: []Formula{f, base[(i+1)%len(base)]}},
+			)
+		}
+		base = next[:min(len(next), 12)]
+	}
+	for _, f := range base {
+		text := Format(f)
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if Format(got) != text {
+			t.Errorf("not a fixed point: %s", text)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package hml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a formula in the TwoTowers diagnostic syntax produced by
+// Format:
+//
+//	TRUE
+//	NOT(φ)
+//	AND(φ; φ; …)
+//	EXISTS_TRANS(LABEL(a); REACHED_STATE_SAT(φ))
+//	EXISTS_WEAK_TRANS(LABEL(a); REACHED_STATE_SAT(φ))
+//
+// so that diagnostic formulas can be stored, edited, and re-checked
+// against models (see the dpmassess mc subcommand).
+func Parse(src string) (Formula, error) {
+	p := &fparser{src: src}
+	p.skipSpace()
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("hml: trailing input at offset %d: %q", p.pos, p.rest())
+	}
+	return f, nil
+}
+
+type fparser struct {
+	src string
+	pos int
+}
+
+func (p *fparser) rest() string {
+	r := p.src[p.pos:]
+	if len(r) > 24 {
+		r = r[:24] + "…"
+	}
+	return r
+}
+
+func (p *fparser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// eat consumes the keyword if present.
+func (p *fparser) eat(kw string) bool {
+	if strings.HasPrefix(p.src[p.pos:], kw) {
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+func (p *fparser) expect(kw string) error {
+	p.skipSpace()
+	if !p.eat(kw) {
+		return fmt.Errorf("hml: expected %q at offset %d, found %q", kw, p.pos, p.rest())
+	}
+	return nil
+}
+
+func (p *fparser) parseFormula() (Formula, error) {
+	p.skipSpace()
+	switch {
+	case p.eat("TRUE"):
+		return True{}, nil
+	case p.eat("NOT"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Not{F: inner}, nil
+	case p.eat("AND"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var fs []Formula
+		for {
+			inner, err := p.parseFormula()
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, inner)
+			p.skipSpace()
+			if p.eat(";") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return And{Fs: fs}, nil
+	case p.eat("EXISTS_WEAK_TRANS"):
+		label, inner, err := p.parseTransBody()
+		if err != nil {
+			return nil, err
+		}
+		return DiamondWeak{Label: label, F: inner}, nil
+	case p.eat("EXISTS_TRANS"):
+		label, inner, err := p.parseTransBody()
+		if err != nil {
+			return nil, err
+		}
+		return Diamond{Label: label, F: inner}, nil
+	default:
+		return nil, fmt.Errorf("hml: expected formula at offset %d, found %q", p.pos, p.rest())
+	}
+}
+
+// parseTransBody parses `(LABEL(a); REACHED_STATE_SAT(φ))`.
+func (p *fparser) parseTransBody() (string, Formula, error) {
+	if err := p.expect("("); err != nil {
+		return "", nil, err
+	}
+	if err := p.expect("LABEL"); err != nil {
+		return "", nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return "", nil, err
+	}
+	// The label runs to the matching closing parenthesis; labels contain
+	// no parentheses themselves.
+	end := strings.IndexByte(p.src[p.pos:], ')')
+	if end < 0 {
+		return "", nil, fmt.Errorf("hml: unterminated LABEL at offset %d", p.pos)
+	}
+	label := strings.TrimSpace(p.src[p.pos : p.pos+end])
+	if label == "" {
+		return "", nil, fmt.Errorf("hml: empty LABEL at offset %d", p.pos)
+	}
+	p.pos += end + 1
+	if err := p.expect(";"); err != nil {
+		return "", nil, err
+	}
+	if err := p.expect("REACHED_STATE_SAT"); err != nil {
+		return "", nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return "", nil, err
+	}
+	inner, err := p.parseFormula()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return "", nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return "", nil, err
+	}
+	return label, inner, nil
+}

@@ -1,0 +1,118 @@
+package lts
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/rates"
+)
+
+// WriteAUT renders the LTS in the Aldebaran (.aut) format used by the
+// CADP toolbox and supported by TwoTowers for interchange:
+//
+//	des (initial, transitions, states)
+//	(src, "label", dst)
+//	...
+//
+// Rates are appended to labels as "label {rate}" when present, so rated
+// systems round-trip through ReadAUT losslessly at the functional level
+// (rates survive as label decorations).
+func WriteAUT(w io.Writer, l *LTS) error {
+	if _, err := fmt.Fprintf(w, "des (%d, %d, %d)\n",
+		l.Initial, l.NumTransitions(), l.NumStates); err != nil {
+		return err
+	}
+	for _, t := range l.Transitions {
+		label := l.Labels[t.Label]
+		if t.Rate.Kind != 0 && t.Rate.String() != "_" {
+			label += " {" + t.Rate.String() + "}"
+		}
+		if _, err := fmt.Fprintf(w, "(%d, %q, %d)\n", t.Src, label, t.Dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAUT parses an Aldebaran .aut description into an LTS. Labels named
+// "tau" or "i" map to the invisible action; rate decorations appended by
+// WriteAUT are kept as part of the label text (functional reading).
+func ReadAUT(r io.Reader) (*LTS, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("lts: empty aut input")
+	}
+	header := strings.TrimSpace(sc.Text())
+	var initial, numTrans, numStates int
+	if _, err := fmt.Sscanf(header, "des (%d, %d, %d)", &initial, &numTrans, &numStates); err != nil {
+		return nil, fmt.Errorf("lts: bad aut header %q: %w", header, err)
+	}
+	if numStates <= 0 || initial < 0 || initial >= numStates {
+		return nil, fmt.Errorf("lts: inconsistent aut header %q", header)
+	}
+	l := New(numStates)
+	l.Initial = initial
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		src, label, dst, err := parseAUTLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("lts: aut line %d: %w", lineNo, err)
+		}
+		if src < 0 || src >= numStates || dst < 0 || dst >= numStates {
+			return nil, fmt.Errorf("lts: aut line %d: state out of range", lineNo)
+		}
+		li := TauIndex
+		if label != TauName && label != "i" {
+			li = l.LabelIndex(label)
+		}
+		l.AddTransition(src, dst, li, rates.UntimedRate())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if l.NumTransitions() != numTrans {
+		return nil, fmt.Errorf("lts: aut header declares %d transitions, found %d",
+			numTrans, l.NumTransitions())
+	}
+	return l, nil
+}
+
+// parseAUTLine parses one `(src, "label", dst)` or `(src, label, dst)`
+// line.
+func parseAUTLine(line string) (src int, label string, dst int, err error) {
+	if !strings.HasPrefix(line, "(") || !strings.HasSuffix(line, ")") {
+		return 0, "", 0, fmt.Errorf("malformed transition %q", line)
+	}
+	body := line[1 : len(line)-1]
+	firstComma := strings.Index(body, ",")
+	lastComma := strings.LastIndex(body, ",")
+	if firstComma < 0 || lastComma <= firstComma {
+		return 0, "", 0, fmt.Errorf("malformed transition %q", line)
+	}
+	src, err = strconv.Atoi(strings.TrimSpace(body[:firstComma]))
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("bad source in %q", line)
+	}
+	dst, err = strconv.Atoi(strings.TrimSpace(body[lastComma+1:]))
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("bad destination in %q", line)
+	}
+	label = strings.TrimSpace(body[firstComma+1 : lastComma])
+	if strings.HasPrefix(label, `"`) {
+		unq, err := strconv.Unquote(label)
+		if err != nil {
+			return 0, "", 0, fmt.Errorf("bad label in %q", line)
+		}
+		label = unq
+	}
+	return src, label, dst, nil
+}

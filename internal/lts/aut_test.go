@@ -1,0 +1,99 @@
+package lts
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rates"
+)
+
+func TestWriteAUT(t *testing.T) {
+	l := New(3)
+	l.Initial = 0
+	l.AddTransition(0, 1, l.LabelIndex("a"), rates.ExpRate(2))
+	l.AddTransition(1, 2, TauIndex, rates.UntimedRate())
+	l.AddTransition(2, 0, l.LabelIndex("b"), rates.UntimedRate())
+	var sb strings.Builder
+	if err := WriteAUT(&sb, l); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"des (0, 3, 3)",
+		`(0, "a {exp(2)}", 1)`,
+		`(1, "tau", 2)`,
+		`(2, "b", 0)`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("AUT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadAUTRoundTrip(t *testing.T) {
+	l := New(4)
+	l.Initial = 1
+	l.AddTransition(1, 0, l.LabelIndex("x"), rates.UntimedRate())
+	l.AddTransition(0, 2, TauIndex, rates.UntimedRate())
+	l.AddTransition(2, 3, l.LabelIndex("y y"), rates.UntimedRate()) // label with space
+	l.AddTransition(3, 1, l.LabelIndex("x"), rates.UntimedRate())
+	var sb strings.Builder
+	if err := WriteAUT(&sb, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAUT(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStates != l.NumStates || got.Initial != l.Initial ||
+		got.NumTransitions() != l.NumTransitions() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			got.NumStates, got.Initial, got.NumTransitions(),
+			l.NumStates, l.Initial, l.NumTransitions())
+	}
+	// Tau is preserved as tau.
+	tauSeen := false
+	for _, tr := range got.Transitions {
+		if tr.Label == TauIndex {
+			tauSeen = true
+		}
+	}
+	if !tauSeen {
+		t.Error("tau transition lost")
+	}
+}
+
+func TestReadAUTVariants(t *testing.T) {
+	// Unquoted labels and the CADP invisible action "i".
+	src := "des (0, 2, 2)\n(0, i, 1)\n(1, hello, 0)\n"
+	l, err := ReadAUT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStates != 2 || l.NumTransitions() != 2 {
+		t.Fatalf("shape: %d states %d transitions", l.NumStates, l.NumTransitions())
+	}
+	if l.Transitions[0].Label != TauIndex && l.Transitions[1].Label != TauIndex {
+		t.Error("\"i\" should map to tau")
+	}
+}
+
+func TestReadAUTErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"des (5, 0, 2)\n",                   // initial out of range
+		"des (0, 1, 2)\n(0, \"a\", 9)\n",    // state out of range
+		"des (0, 2, 2)\n(0, \"a\", 1)\n",    // transition count mismatch
+		"des (0, 1, 2)\nnot-a-transition\n", // malformed line
+		"des (0, 1, 2)\n(x, \"a\", 1)\n",    // bad source
+		"des (0, 1, 2)\n(0, \"a\", y)\n",    // bad destination
+		"des (0, 1, 2)\n(0, \"unterm, 1)\n", // bad quoting
+		"des (0, 1, 2)\n(0 \"nocommas\" 1)\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadAUT(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should fail: %q", i, src)
+		}
+	}
+}

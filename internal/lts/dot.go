@@ -1,0 +1,43 @@
+package lts
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the LTS in Graphviz DOT syntax for visual inspection.
+// Rates are appended to edge labels when present.
+func WriteDOT(w io.Writer, l *LTS, name string) error {
+	if name == "" {
+		name = "lts"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", name); err != nil {
+		return err
+	}
+	for s := 0; s < l.NumStates; s++ {
+		label := fmt.Sprintf("s%d", s)
+		if l.StateDescs != nil {
+			label = l.StateDescs[s]
+		}
+		shape := "circle"
+		if s == l.Initial {
+			shape = "doublecircle"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q, shape=%s];\n", s, label, shape); err != nil {
+			return err
+		}
+	}
+	for _, t := range l.Transitions {
+		lbl := l.Labels[t.Label]
+		if t.Rate.Kind != 0 && t.Rate.String() != "_" {
+			lbl += ", " + t.Rate.String()
+		}
+		lbl = strings.ReplaceAll(lbl, `"`, `\"`)
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%q];\n", t.Src, t.Dst, lbl); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,115 @@
+package lts
+
+import (
+	"fmt"
+
+	"repro/internal/elab"
+)
+
+// StatePred names a local-enabledness predicate to evaluate in every
+// generated state: true iff the instance's current configuration offers
+// the action locally (whether or not the topology lets it fire).
+type StatePred struct {
+	// Instance is the instance name.
+	Instance string
+	// Action is the action name.
+	Action string
+}
+
+// Name returns the canonical "Instance.Action" form of the predicate.
+func (p StatePred) Name() string { return p.Instance + "." + p.Action }
+
+// GenerateOptions tunes state-space generation.
+type GenerateOptions struct {
+	// MaxStates aborts generation when exceeded (0 = default 2_000_000).
+	MaxStates int
+	// KeepDescriptions stores a readable description per state.
+	KeepDescriptions bool
+	// Predicates are evaluated in every state and stored in the LTS.
+	Predicates []StatePred
+}
+
+// TooManyStatesError reports that generation exceeded MaxStates.
+type TooManyStatesError struct {
+	// Limit is the configured bound.
+	Limit int
+}
+
+// Error implements error.
+func (e *TooManyStatesError) Error() string {
+	return fmt.Sprintf("lts: state space exceeds %d states", e.Limit)
+}
+
+// Generate explores the reachable state space of an elaborated model and
+// returns it as an explicit LTS. Exploration is breadth-first, so state
+// indices are stable across runs for a given model.
+func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+
+	l := New(0)
+	index := make(map[string]int)
+	var states []elab.State
+
+	intern := func(s elab.State) (int, bool) {
+		k := m.Key(s)
+		if i, ok := index[k]; ok {
+			return i, false
+		}
+		i := len(states)
+		index[k] = i
+		states = append(states, s)
+		return i, true
+	}
+
+	s0 := m.Initial()
+	if _, err := m.Successors(s0); err != nil {
+		// Surface composition errors (e.g. active-active sync) immediately.
+		return nil, err
+	}
+	intern(s0)
+	l.Initial = 0
+
+	for qi := 0; qi < len(states); qi++ {
+		if len(states) > maxStates {
+			return nil, &TooManyStatesError{Limit: maxStates}
+		}
+		src := states[qi]
+		ts, err := m.Successors(src)
+		if err != nil {
+			return nil, fmt.Errorf("lts: expanding state %s: %w", m.Describe(src), err)
+		}
+		for _, tr := range ts {
+			dst, _ := intern(tr.Next)
+			l.AddTransition(qi, dst, l.LabelIndex(tr.Label), tr.Rate)
+		}
+	}
+	l.NumStates = len(states)
+
+	if opts.KeepDescriptions {
+		l.StateDescs = make([]string, len(states))
+		for i, s := range states {
+			l.StateDescs[i] = m.Describe(s)
+		}
+	}
+	if len(opts.Predicates) > 0 {
+		l.PredNames = make([]string, len(opts.Predicates))
+		l.Preds = make([][]bool, len(opts.Predicates))
+		for p, pred := range opts.Predicates {
+			l.PredNames[p] = pred.Name()
+			col := make([]bool, len(states))
+			for i, s := range states {
+				ok, err := m.LocallyEnabled(s, pred.Instance, pred.Action)
+				if err != nil {
+					return nil, fmt.Errorf("lts: predicate %s: %w", pred.Name(), err)
+				}
+				col[i] = ok
+			}
+			l.Preds[p] = col
+		}
+	}
+	l.buildIndex()
+	return l, nil
+}

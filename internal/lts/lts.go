@@ -1,0 +1,275 @@
+// Package lts provides explicit labelled transition systems: generation by
+// reachability from an elaborated architectural model, hiding (relabelling
+// to tau), restriction (forbidding actions), and utilities used by the
+// equivalence checker and the Markovian analyser.
+package lts
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rates"
+)
+
+// TauIndex is the label-table index reserved for the invisible action.
+const TauIndex = 0
+
+// TauName is the display name of the invisible action.
+const TauName = "tau"
+
+// Transition is one labelled transition between explicit states.
+type Transition struct {
+	// Src and Dst are state indices.
+	Src, Dst int
+	// Label indexes the LTS label table.
+	Label int
+	// Rate is the timing annotation of the transition.
+	Rate rates.Rate
+}
+
+// LTS is an explicit labelled transition system.
+type LTS struct {
+	// Initial is the initial state index.
+	Initial int
+	// NumStates is the number of states.
+	NumStates int
+	// Labels is the label table; Labels[TauIndex] == TauName.
+	Labels []string
+	// Transitions lists all transitions, grouped by source state.
+	Transitions []Transition
+	// StateDescs optionally carries a readable description per state.
+	StateDescs []string
+	// PredNames names the state predicates evaluated at generation time.
+	PredNames []string
+	// Preds holds predicate truth per state: Preds[p][s].
+	Preds [][]bool
+
+	labelIdx map[string]int
+	outIdx   []int32 // CSR-style index into Transitions, built lazily
+}
+
+// New creates an empty LTS with a tau label and n states.
+func New(n int) *LTS {
+	l := &LTS{
+		NumStates: n,
+		Labels:    []string{TauName},
+		labelIdx:  map[string]int{TauName: TauIndex},
+	}
+	return l
+}
+
+// LabelIndex interns a label name and returns its index.
+func (l *LTS) LabelIndex(name string) int {
+	if l.labelIdx == nil {
+		l.labelIdx = make(map[string]int, len(l.Labels))
+		for i, s := range l.Labels {
+			l.labelIdx[s] = i
+		}
+	}
+	if i, ok := l.labelIdx[name]; ok {
+		return i
+	}
+	l.Labels = append(l.Labels, name)
+	i := len(l.Labels) - 1
+	l.labelIdx[name] = i
+	return i
+}
+
+// LookupLabel returns the index of a label name, if present.
+func (l *LTS) LookupLabel(name string) (int, bool) {
+	if l.labelIdx == nil {
+		l.LabelIndex(TauName) // force index build
+	}
+	i, ok := l.labelIdx[name]
+	return i, ok
+}
+
+// AddTransition appends a transition. Invalidates the adjacency index.
+func (l *LTS) AddTransition(src, dst, label int, r rates.Rate) {
+	l.Transitions = append(l.Transitions, Transition{Src: src, Dst: dst, Label: label, Rate: r})
+	l.outIdx = nil
+}
+
+// sortTransitions orders transitions by (Src, Label, Dst) for deterministic
+// iteration and builds the CSR index.
+func (l *LTS) buildIndex() {
+	if l.outIdx != nil {
+		return
+	}
+	sort.Slice(l.Transitions, func(i, j int) bool {
+		a, b := l.Transitions[i], l.Transitions[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Dst < b.Dst
+	})
+	l.outIdx = make([]int32, l.NumStates+1)
+	for _, t := range l.Transitions {
+		l.outIdx[t.Src+1]++
+	}
+	for i := 1; i <= l.NumStates; i++ {
+		l.outIdx[i] += l.outIdx[i-1]
+	}
+}
+
+// Out returns the transitions leaving state s.
+func (l *LTS) Out(s int) []Transition {
+	l.buildIndex()
+	return l.Transitions[l.outIdx[s]:l.outIdx[s+1]]
+}
+
+// NumTransitions returns the number of transitions.
+func (l *LTS) NumTransitions() int { return len(l.Transitions) }
+
+// IsDeadlock reports whether state s has no outgoing transitions.
+func (l *LTS) IsDeadlock(s int) bool { return len(l.Out(s)) == 0 }
+
+// Deadlocks returns all deadlocked states.
+func (l *LTS) Deadlocks() []int {
+	var out []int
+	for s := 0; s < l.NumStates; s++ {
+		if l.IsDeadlock(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Pred returns the truth of the named predicate in state s.
+func (l *LTS) Pred(name string, s int) (bool, error) {
+	for i, n := range l.PredNames {
+		if n == name {
+			return l.Preds[i][s], nil
+		}
+	}
+	return false, fmt.Errorf("lts: unknown predicate %q", name)
+}
+
+// Hide returns a copy of the LTS in which every transition whose label
+// satisfies match is relabelled to tau. Rates are preserved.
+func Hide(l *LTS, match func(label string) bool) *LTS {
+	out := New(l.NumStates)
+	out.Initial = l.Initial
+	out.StateDescs = l.StateDescs
+	out.PredNames = l.PredNames
+	out.Preds = l.Preds
+	for _, t := range l.Transitions {
+		name := l.Labels[t.Label]
+		li := TauIndex
+		if t.Label != TauIndex && !match(name) {
+			li = out.LabelIndex(name)
+		}
+		out.AddTransition(t.Src, t.Dst, li, t.Rate)
+	}
+	return out
+}
+
+// Restrict returns the sub-LTS obtained by removing every transition whose
+// label satisfies match and then restricting to the states reachable from
+// the initial state. State indices are compacted; descriptions and
+// predicates are carried over.
+func Restrict(l *LTS, match func(label string) bool) *LTS {
+	keep := make([]bool, len(l.Transitions))
+	for i, t := range l.Transitions {
+		keep[i] = t.Label == TauIndex || !match(l.Labels[t.Label])
+	}
+	// BFS over kept transitions.
+	l.buildIndex()
+	remap := make([]int, l.NumStates)
+	for i := range remap {
+		remap[i] = -1
+	}
+	order := []int{l.Initial}
+	remap[l.Initial] = 0
+	for qi := 0; qi < len(order); qi++ {
+		s := order[qi]
+		for i := int(l.outIdx[s]); i < int(l.outIdx[s+1]); i++ {
+			if !keep[i] {
+				continue
+			}
+			d := l.Transitions[i].Dst
+			if remap[d] < 0 {
+				remap[d] = len(order)
+				order = append(order, d)
+			}
+		}
+	}
+	out := New(len(order))
+	out.Initial = 0
+	if l.StateDescs != nil {
+		out.StateDescs = make([]string, len(order))
+	}
+	if l.Preds != nil {
+		out.PredNames = l.PredNames
+		out.Preds = make([][]bool, len(l.Preds))
+		for p := range l.Preds {
+			out.Preds[p] = make([]bool, len(order))
+		}
+	}
+	for newIdx, oldIdx := range order {
+		if out.StateDescs != nil {
+			out.StateDescs[newIdx] = l.StateDescs[oldIdx]
+		}
+		for p := range out.Preds {
+			out.Preds[p][newIdx] = l.Preds[p][oldIdx]
+		}
+	}
+	for i, t := range l.Transitions {
+		if !keep[i] || remap[t.Src] < 0 || remap[t.Dst] < 0 {
+			continue
+		}
+		name := l.Labels[t.Label]
+		li := TauIndex
+		if t.Label != TauIndex {
+			li = out.LabelIndex(name)
+		}
+		out.AddTransition(remap[t.Src], remap[t.Dst], li, t.Rate)
+	}
+	return out
+}
+
+// LabelMatcherByInstance returns a matcher for all transition labels that
+// involve the given instance name: "I.a" or any "…#I.a" / "I.a#…".
+// It is the standard way to designate a component's actions as high.
+func LabelMatcherByInstance(inst string) func(string) bool {
+	prefix := inst + "."
+	return func(label string) bool {
+		if len(label) >= len(prefix) && label[:len(prefix)] == prefix {
+			return true
+		}
+		for i := 0; i+1 < len(label); i++ {
+			if label[i] == '#' {
+				rest := label[i+1:]
+				return len(rest) >= len(prefix) && rest[:len(prefix)] == prefix
+			}
+		}
+		return false
+	}
+}
+
+// LabelInvolves reports whether a transition label involves the given
+// "Instance.action" pair, either standalone ("I.a") or as one side of a
+// synchronization ("I.a#J.b" / "J.b#I.a").
+func LabelInvolves(label, instAction string) bool {
+	if label == instAction {
+		return true
+	}
+	for i := 0; i < len(label); i++ {
+		if label[i] == '#' {
+			return label[:i] == instAction || label[i+1:] == instAction
+		}
+	}
+	return false
+}
+
+// LabelMatcherByNames returns a matcher for an explicit set of labels.
+func LabelMatcherByNames(names ...string) func(string) bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(label string) bool { return set[label] }
+}

@@ -1,0 +1,350 @@
+// Package measure implements the reward-based performance-measure
+// companion language of the paper (Sect. 4):
+//
+//	MEASURE throughput IS
+//	  ENABLED(C.process_result_packet) -> TRANS_REWARD(1);
+//	MEASURE energy IS
+//	  ENABLED(S.monitor_idle_server)   -> STATE_REWARD(2)
+//	  ENABLED(S.monitor_busy_server)   -> STATE_REWARD(3)
+//
+// A STATE_REWARD clause accrues its value per unit of time while the named
+// action is locally enabled; a TRANS_REWARD clause accrues its value each
+// time a transition involving the named action fires. Measures evaluate
+// exactly on a solved CTMC and are estimated by the simulation engine.
+package measure
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctmc"
+	"repro/internal/lts"
+	"repro/internal/stats"
+)
+
+// RewardKind selects how a clause accrues reward.
+type RewardKind int
+
+// Reward kinds.
+const (
+	// StateReward accrues per unit time while the predicate holds.
+	StateReward RewardKind = iota + 1
+	// TransReward accrues per firing of a matching transition.
+	TransReward
+)
+
+// String returns the source-level keyword of the kind.
+func (k RewardKind) String() string {
+	switch k {
+	case StateReward:
+		return "STATE_REWARD"
+	case TransReward:
+		return "TRANS_REWARD"
+	default:
+		return "unknown"
+	}
+}
+
+// Clause is one reward clause of a measure.
+type Clause struct {
+	// Instance and Action name the predicate ENABLED(Instance.Action).
+	Instance, Action string
+	// Kind selects state or transition reward.
+	Kind RewardKind
+	// Value is the reward value.
+	Value float64
+}
+
+// Pred returns the canonical "Instance.Action" predicate name.
+func (c Clause) Pred() string { return c.Instance + "." + c.Action }
+
+// Measure is a named list of reward clauses, or a derived ratio of two
+// other measures (MEASURE x IS RATIO(num, den) — e.g. energy per request
+// as RATIO(energy, throughput)).
+type Measure struct {
+	// Name identifies the measure.
+	Name string
+	// Clauses are accumulated additively (empty for derived measures).
+	Clauses []Clause
+	// Derived marks a ratio measure; Num and Den name its operands.
+	Derived  bool
+	Num, Den string
+}
+
+// IsBase reports whether the measure is evaluated from rewards directly.
+func (m Measure) IsBase() bool { return !m.Derived }
+
+// StatePreds returns the generation-time predicates the measure's
+// STATE_REWARD clauses require.
+func (m Measure) StatePreds() []lts.StatePred {
+	var out []lts.StatePred
+	for _, c := range m.Clauses {
+		if c.Kind == StateReward {
+			out = append(out, lts.StatePred{Instance: c.Instance, Action: c.Action})
+		}
+	}
+	return out
+}
+
+// StatePreds collects the predicates required by a set of measures,
+// deduplicated.
+func StatePreds(ms []Measure) []lts.StatePred {
+	seen := make(map[lts.StatePred]bool)
+	var out []lts.StatePred
+	for _, m := range ms {
+		for _, p := range m.StatePreds() {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// EvalAll evaluates a set of measures on a solved chain, resolving
+// derived ratio measures against the base values.
+func EvalAll(ms []Measure, c *ctmc.CTMC, pi []float64) (map[string]float64, error) {
+	out := make(map[string]float64, len(ms))
+	for _, m := range ms {
+		if m.Derived {
+			continue
+		}
+		v, err := m.EvalCTMC(c, pi)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Name] = v
+	}
+	for _, m := range ms {
+		if !m.Derived {
+			continue
+		}
+		num, okN := out[m.Num]
+		den, okD := out[m.Den]
+		if !okN || !okD {
+			return nil, fmt.Errorf("measure %s: ratio operands %q/%q not both defined before it",
+				m.Name, m.Num, m.Den)
+		}
+		if den == 0 {
+			out[m.Name] = 0
+		} else {
+			out[m.Name] = num / den
+		}
+	}
+	return out, nil
+}
+
+// EvalCTMC computes the exact steady-state value of the measure on a
+// solved chain. The LTS must have been generated with the predicates from
+// StatePreds. Derived measures must be evaluated with EvalAll.
+func (m Measure) EvalCTMC(c *ctmc.CTMC, pi []float64) (float64, error) {
+	if m.Derived {
+		return 0, fmt.Errorf("measure %s: derived measures require EvalAll", m.Name)
+	}
+	total := 0.0
+	for _, cl := range m.Clauses {
+		switch cl.Kind {
+		case StateReward:
+			p, err := c.ProbLocallyEnabled(pi, cl.Pred())
+			if err != nil {
+				return 0, fmt.Errorf("measure %s: %w", m.Name, err)
+			}
+			total += cl.Value * p
+		case TransReward:
+			pred := cl.Pred()
+			total += cl.Value * c.Throughput(pi, func(label string) bool {
+				return lts.LabelInvolves(label, pred)
+			}, nil)
+		default:
+			return 0, fmt.Errorf("measure %s: invalid reward kind", m.Name)
+		}
+	}
+	return total, nil
+}
+
+// DeriveIntervals resolves the derived (ratio) measures of ms against a
+// map of base estimates, propagating uncertainty to first order: the
+// relative half-width of a ratio is the sum of the operands' relative
+// half-widths. The map is extended in place and returned.
+func DeriveIntervals(ms []Measure, base map[string]stats.Interval) (map[string]stats.Interval, error) {
+	for _, m := range ms {
+		if !m.Derived {
+			continue
+		}
+		num, okN := base[m.Num]
+		den, okD := base[m.Den]
+		if !okN || !okD {
+			return nil, fmt.Errorf("measure %s: ratio operands %q/%q not both estimated",
+				m.Name, m.Num, m.Den)
+		}
+		ci := stats.Interval{Level: num.Level, N: num.N}
+		if den.Mean != 0 {
+			ci.Mean = num.Mean / den.Mean
+			rel := 0.0
+			if num.Mean != 0 {
+				rel += abs(num.HalfWidth / num.Mean)
+			}
+			rel += abs(den.HalfWidth / den.Mean)
+			ci.HalfWidth = abs(ci.Mean) * rel
+		}
+		base[m.Name] = ci
+	}
+	return base, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Parse reads measure definitions in the companion-language syntax shown
+// in the package comment. Clauses may be separated by whitespace; measures
+// end at the next MEASURE keyword or end of input; a trailing ";" after a
+// measure is accepted.
+func Parse(src string) ([]Measure, error) {
+	toks := tokenize(src)
+	p := &parser{toks: toks}
+	var out []Measure
+	for !p.eof() {
+		m, err := p.parseMeasure()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("measure: no MEASURE definitions found")
+	}
+	return out, nil
+}
+
+func tokenize(src string) []string {
+	src = strings.NewReplacer(
+		"(", " ( ", ")", " ) ", ";", " ; ", "->", " -> ", ",", " , ",
+	).Replace(src)
+	return strings.Fields(src)
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("measure: expected %q, found %q", want, got)
+	}
+	return nil
+}
+
+func (p *parser) parseMeasure() (Measure, error) {
+	var m Measure
+	if err := p.expect("MEASURE"); err != nil {
+		return m, err
+	}
+	m.Name = p.next()
+	if m.Name == "" {
+		return m, fmt.Errorf("measure: missing measure name")
+	}
+	if err := p.expect("IS"); err != nil {
+		return m, err
+	}
+	if p.peek() == "RATIO" {
+		p.next()
+		if err := p.expect("("); err != nil {
+			return m, err
+		}
+		m.Num = strings.TrimSuffix(p.next(), ",")
+		if p.peek() == "," {
+			p.next()
+		}
+		m.Den = p.next()
+		if err := p.expect(")"); err != nil {
+			return m, err
+		}
+		if p.peek() == ";" {
+			p.next()
+		}
+		if m.Num == "" || m.Den == "" {
+			return m, fmt.Errorf("measure %s: RATIO needs two operand names", m.Name)
+		}
+		m.Derived = true
+		return m, nil
+	}
+	for {
+		if p.eof() || p.peek() == "MEASURE" {
+			break
+		}
+		if p.peek() == ";" {
+			p.next()
+			break
+		}
+		cl, err := p.parseClause()
+		if err != nil {
+			return m, err
+		}
+		m.Clauses = append(m.Clauses, cl)
+	}
+	if len(m.Clauses) == 0 {
+		return m, fmt.Errorf("measure %s: no clauses", m.Name)
+	}
+	return m, nil
+}
+
+func (p *parser) parseClause() (Clause, error) {
+	var c Clause
+	if err := p.expect("ENABLED"); err != nil {
+		return c, err
+	}
+	if err := p.expect("("); err != nil {
+		return c, err
+	}
+	pred := p.next()
+	dot := strings.IndexByte(pred, '.')
+	if dot <= 0 || dot == len(pred)-1 {
+		return c, fmt.Errorf("measure: predicate %q is not of the form Instance.action", pred)
+	}
+	c.Instance, c.Action = pred[:dot], pred[dot+1:]
+	if err := p.expect(")"); err != nil {
+		return c, err
+	}
+	if err := p.expect("->"); err != nil {
+		return c, err
+	}
+	switch kw := p.next(); kw {
+	case "STATE_REWARD":
+		c.Kind = StateReward
+	case "TRANS_REWARD":
+		c.Kind = TransReward
+	default:
+		return c, fmt.Errorf("measure: expected STATE_REWARD or TRANS_REWARD, found %q", kw)
+	}
+	if err := p.expect("("); err != nil {
+		return c, err
+	}
+	if _, err := fmt.Sscanf(p.next(), "%g", &c.Value); err != nil {
+		return c, fmt.Errorf("measure: invalid reward value: %w", err)
+	}
+	if err := p.expect(")"); err != nil {
+		return c, err
+	}
+	return c, nil
+}

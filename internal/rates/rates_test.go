@@ -1,0 +1,178 @@
+package rates
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		r    Rate
+		ok   bool
+	}{
+		{"untimed", UntimedRate(), true},
+		{"exp", ExpRate(1.5), true},
+		{"exp-zero", ExpRate(0), false},
+		{"exp-neg", ExpRate(-1), false},
+		{"inf", Inf(1, 2), true},
+		{"inf-neg-prio", Inf(-1, 2), false},
+		{"inf-zero-weight", Inf(1, 0), false},
+		{"passive", PassiveRate(), true},
+		{"passive-w", PassiveWeight(0.5), true},
+		{"passive-zero", PassiveWeight(0), false},
+		{"invalid-kind", Rate{Kind: Kind(99)}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.r.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate(%v) err=%v, want ok=%t", tt.r, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestCombineActivePassive(t *testing.T) {
+	got, err := Combine(ExpRate(3), PassiveRate())
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if got.Kind != Exp || got.Lambda != 3 {
+		t.Errorf("got %v, want exp(3)", got)
+	}
+	// Symmetric.
+	got, err = Combine(PassiveRate(), ExpRate(3))
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if got.Kind != Exp || got.Lambda != 3 {
+		t.Errorf("got %v, want exp(3)", got)
+	}
+}
+
+func TestCombineImmediatePassiveWeights(t *testing.T) {
+	got, err := Combine(Inf(2, 3), PassiveWeight(0.5))
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if got.Kind != Immediate || got.Priority != 2 || got.Weight != 1.5 {
+		t.Errorf("got %v, want inf(2, 1.5)", got)
+	}
+}
+
+func TestCombineTwoActive(t *testing.T) {
+	pairs := [][2]Rate{
+		{ExpRate(1), ExpRate(2)},
+		{ExpRate(1), Inf(0, 1)},
+		{Inf(0, 1), Inf(1, 1)},
+	}
+	for _, p := range pairs {
+		_, err := Combine(p[0], p[1])
+		var ie *IncompatibleError
+		if !errors.As(err, &ie) {
+			t.Errorf("Combine(%v, %v): want IncompatibleError, got %v", p[0], p[1], err)
+		}
+	}
+}
+
+func TestCombineUntimed(t *testing.T) {
+	got, err := Combine(UntimedRate(), UntimedRate())
+	if err != nil || got.Kind != Untimed {
+		t.Errorf("untimed x untimed = (%v, %v), want untimed", got, err)
+	}
+	got, err = Combine(UntimedRate(), PassiveRate())
+	if err != nil || got.Kind != Untimed {
+		t.Errorf("untimed x passive = (%v, %v), want untimed", got, err)
+	}
+	if _, err := Combine(UntimedRate(), ExpRate(1)); err == nil {
+		t.Error("untimed x exp should be rejected")
+	}
+}
+
+func TestCombinePassivePassive(t *testing.T) {
+	got, err := Combine(PassiveWeight(2), PassiveWeight(3))
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if got.Kind != Passive || got.Weight != 6 {
+		t.Errorf("got %v, want passive(6)", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		r    Rate
+		want string
+	}{
+		{UntimedRate(), "_"},
+		{ExpRate(2.5), "exp(2.5)"},
+		{Inf(1, 2), "inf(1, 2)"},
+		{PassiveRate(), "passive"},
+		{PassiveWeight(0.25), "passive(0.25)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("String(%#v) = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+// Property: Combine is symmetric up to error presence.
+func TestQuickCombineSymmetric(t *testing.T) {
+	mk := func(kind uint8, lam float64) Rate {
+		switch kind % 4 {
+		case 0:
+			return UntimedRate()
+		case 1:
+			return ExpRate(1 + lam*lam)
+		case 2:
+			return Inf(int(kind/4)%3, 1+lam*lam)
+		default:
+			return PassiveWeight(1 + lam*lam)
+		}
+	}
+	f := func(ka, kb uint8, la, lb float64) bool {
+		a, b := mk(ka, la), mk(kb, lb)
+		r1, e1 := Combine(a, b)
+		r2, e2 := Combine(b, a)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		if e1 != nil {
+			return true
+		}
+		return r1 == r2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a successful combination of valid rates is itself valid.
+func TestQuickCombineValid(t *testing.T) {
+	f := func(ka, kb uint8, la, lb float64) bool {
+		mk := func(kind uint8, lam float64) Rate {
+			switch kind % 4 {
+			case 0:
+				return UntimedRate()
+			case 1:
+				return ExpRate(1 + lam*lam)
+			case 2:
+				return Inf(int(kind/4)%3, 1+lam*lam)
+			default:
+				return PassiveWeight(1 + lam*lam)
+			}
+		}
+		a, b := mk(ka, la), mk(kb, lb)
+		r, err := Combine(a, b)
+		if err != nil {
+			return true
+		}
+		return r.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,479 @@
+// Package sim is the discrete-event simulation engine of the methodology's
+// third phase: it executes an elaborated architectural model as a
+// generalized semi-Markov process (GSMP), so that activity durations can
+// follow arbitrary distributions (deterministic, normal, …) instead of the
+// exponential ones of the Markovian model.
+//
+// Semantics. Every enabled timed transition belongs to an *activity*,
+// identified by its active participant (instance, action). A newly enabled
+// activity samples a duration from its distribution — by default the
+// exponential of its rate annotation, overridable per activity for the
+// general models — and keeps its residual clock while it stays enabled
+// (enabling-memory policy); disabling discards the clock. The activity
+// with the smallest residual fires. Immediate actions pre-empt time,
+// firing in zero time by priority and weight, exactly as in the CTMC
+// extraction, so the simulator with exponential distributions estimates
+// the same quantities the CTMC solver computes — the cross-validation the
+// paper performs in Sect. 5.1.
+//
+// Measures are the same reward structures the Markovian analysis uses:
+// STATE_REWARD clauses accumulate value × time while locally enabled,
+// TRANS_REWARD clauses count weighted firings; both are normalized by the
+// measured time, estimated over independent replications with Student-t
+// confidence intervals.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/elab"
+	"repro/internal/lts"
+	"repro/internal/measure"
+	"repro/internal/rates"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Activity identifies a timed activity by its active participant.
+type Activity struct {
+	// Instance is the active instance name.
+	Instance string
+	// Action is the active action name.
+	Action string
+}
+
+// Config parameterizes a simulation experiment.
+type Config struct {
+	// Model is the elaborated architectural model to execute.
+	Model *elab.Model
+	// Distributions overrides the duration distribution of activities;
+	// activities without an override use the exponential of their rate.
+	Distributions map[Activity]dist.Distribution
+	// Measures are estimated during the run.
+	Measures []measure.Measure
+	// RunLength is the measured model-time horizon per replication (or
+	// per batch, in batch-means mode).
+	RunLength float64
+	// Warmup is discarded model time before measurement starts.
+	Warmup float64
+	// Replications is the number of independent runs (default 30, the
+	// paper's choice). Ignored in batch-means mode.
+	Replications int
+	// Batches, when positive, switches to the batch-means method: one
+	// long run of Warmup + Batches×RunLength model time, each batch
+	// contributing one observation. Cheaper than replications (a single
+	// warm-up) at the cost of residual correlation between batches.
+	Batches int
+	// Seed seeds the master random stream (default 1).
+	Seed uint64
+	// ConfidenceLevel for the reported intervals (default 0.90).
+	ConfidenceLevel float64
+	// MaxEvents bounds the events per replication (default 50 million).
+	MaxEvents int
+}
+
+// Result reports simulation estimates.
+type Result struct {
+	// Estimates maps measure names to confidence intervals.
+	Estimates map[string]stats.Interval
+	// Events is the total number of fired transitions across replications.
+	Events int64
+	// Replications is the number of completed runs.
+	Replications int
+}
+
+// Estimate returns the interval of a named measure.
+func (r *Result) Estimate(name string) (stats.Interval, bool) {
+	ci, ok := r.Estimates[name]
+	return ci, ok
+}
+
+// Simulation failure modes.
+var (
+	// ErrImmediateLivelock reports an unbounded sequence of immediate
+	// firings.
+	ErrImmediateLivelock = errors.New("sim: immediate livelock (unbounded zero-time sequence)")
+	// ErrNoDistribution reports a timed transition whose activity has
+	// neither an exponential rate nor an override.
+	ErrNoDistribution = errors.New("sim: activity has no duration distribution")
+)
+
+// stateInfo caches the expensive per-state computations.
+type stateInfo struct {
+	succ  []elab.Transition
+	preds []bool // local enabledness per state-reward clause
+}
+
+// runner executes replications of one configuration.
+type runner struct {
+	cfg       Config
+	model     *elab.Model
+	stateMemo map[string]*stateInfo
+
+	// Flattened clauses.
+	stateClauses []measure.Clause
+	transClauses []measure.Clause
+	// clauseOf[m] lists (kind, flattened index) per measure.
+	stateOf [][]int
+	transOf [][]int
+}
+
+// Run executes the experiment and returns the estimates.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("sim: nil model")
+	}
+	if cfg.RunLength <= 0 {
+		return nil, errors.New("sim: RunLength must be positive")
+	}
+	if cfg.Replications <= 0 {
+		cfg.Replications = 30
+	}
+	if cfg.ConfidenceLevel == 0 {
+		cfg.ConfidenceLevel = 0.90
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 50_000_000
+	}
+
+	r := &runner{
+		cfg:       cfg,
+		model:     cfg.Model,
+		stateMemo: make(map[string]*stateInfo, 1024),
+	}
+	for mi, m := range cfg.Measures {
+		r.stateOf = append(r.stateOf, nil)
+		r.transOf = append(r.transOf, nil)
+		if m.Derived {
+			continue // resolved from the base estimates after the runs
+		}
+		for _, cl := range m.Clauses {
+			switch cl.Kind {
+			case measure.StateReward:
+				r.stateOf[mi] = append(r.stateOf[mi], len(r.stateClauses))
+				r.stateClauses = append(r.stateClauses, cl)
+			case measure.TransReward:
+				r.transOf[mi] = append(r.transOf[mi], len(r.transClauses))
+				r.transClauses = append(r.transClauses, cl)
+			default:
+				return nil, fmt.Errorf("sim: measure %s: invalid clause kind", m.Name)
+			}
+		}
+	}
+
+	master := rng.New(cfg.Seed)
+	accs := make([]stats.Accumulator, len(cfg.Measures))
+	res := &Result{Estimates: make(map[string]stats.Interval, len(cfg.Measures))}
+	if cfg.Batches > 0 {
+		// Batch means: one long run, one observation per batch.
+		segs, events, err := r.replicate(master.Split(0), cfg.Batches)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch-means run: %w", err)
+		}
+		res.Events = events
+		for _, vals := range segs {
+			for i, v := range vals {
+				accs[i].Add(v)
+			}
+		}
+		res.Replications = cfg.Batches
+	} else {
+		for rep := 0; rep < cfg.Replications; rep++ {
+			segs, events, err := r.replicate(master.Split(uint64(rep)), 1)
+			if err != nil {
+				return nil, fmt.Errorf("sim: replication %d: %w", rep, err)
+			}
+			res.Events += events
+			for i, v := range segs[0] {
+				accs[i].Add(v)
+			}
+		}
+		res.Replications = cfg.Replications
+	}
+	for i, m := range cfg.Measures {
+		if m.Derived {
+			continue
+		}
+		res.Estimates[m.Name] = accs[i].CI(cfg.ConfidenceLevel)
+	}
+	if _, err := measure.DeriveIntervals(cfg.Measures, res.Estimates); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// info returns the cached successor/predicate data of a state.
+func (r *runner) info(s elab.State) (*stateInfo, error) {
+	key := r.model.Key(s)
+	if si, ok := r.stateMemo[key]; ok {
+		return si, nil
+	}
+	succ, err := r.model.Successors(s)
+	if err != nil {
+		return nil, err
+	}
+	si := &stateInfo{succ: succ}
+	if len(r.stateClauses) > 0 {
+		si.preds = make([]bool, len(r.stateClauses))
+		for i, cl := range r.stateClauses {
+			ok, err := r.model.LocallyEnabled(s, cl.Instance, cl.Action)
+			if err != nil {
+				return nil, err
+			}
+			si.preds[i] = ok
+		}
+	}
+	r.stateMemo[key] = si
+	return si, nil
+}
+
+// replicate runs one run whose measurement window is split into the given
+// number of consecutive segments (1 for independent replications, n for
+// batch means) and returns the per-segment measure values (already
+// normalized by the segment length).
+func (r *runner) replicate(rnd *rng.Rand, segments int) ([][]float64, int64, error) {
+	var (
+		now        float64
+		events     int64
+		state      = r.model.Initial()
+		clocks     = make(map[Activity]float64, 8)
+		endTime    = r.cfg.Warmup + float64(segments)*r.cfg.RunLength
+		zeroStreak = 0
+	)
+	stateAcc := make([][]float64, segments)
+	transAcc := make([][]float64, segments)
+	for k := range stateAcc {
+		stateAcc[k] = make([]float64, len(r.stateClauses))
+		transAcc[k] = make([]float64, len(r.transClauses))
+	}
+	segOf := func(t float64) int {
+		k := int((t - r.cfg.Warmup) / r.cfg.RunLength)
+		if k < 0 {
+			k = 0
+		}
+		if k >= segments {
+			k = segments - 1
+		}
+		return k
+	}
+
+	accrue := func(si *stateInfo, dt float64) {
+		if dt <= 0 || len(r.stateClauses) == 0 {
+			return
+		}
+		// Clip the accrual window to [Warmup, endTime] and split it over
+		// the segments it spans.
+		lo := math.Max(now, r.cfg.Warmup)
+		hi := math.Min(now+dt, endTime)
+		for lo < hi {
+			k := segOf(lo)
+			segEnd := r.cfg.Warmup + float64(k+1)*r.cfg.RunLength
+			w := math.Min(hi, segEnd) - lo
+			if w <= 0 {
+				break
+			}
+			for i := range r.stateClauses {
+				if si.preds[i] {
+					stateAcc[k][i] += r.stateClauses[i].Value * w
+				}
+			}
+			lo += w
+		}
+	}
+	countFiring := func(label string) {
+		if now < r.cfg.Warmup || len(r.transClauses) == 0 {
+			return
+		}
+		k := segOf(now)
+		for i, cl := range r.transClauses {
+			if lts.LabelInvolves(label, cl.Pred()) {
+				transAcc[k][i] += cl.Value
+			}
+		}
+	}
+
+	for now < endTime {
+		if events >= int64(r.cfg.MaxEvents) {
+			return nil, events, fmt.Errorf("sim: exceeded %d events", r.cfg.MaxEvents)
+		}
+		si, err := r.info(state)
+		if err != nil {
+			return nil, events, err
+		}
+		if len(si.succ) == 0 {
+			// Deadlock: the state persists until the horizon.
+			accrue(si, endTime-now)
+			now = endTime
+			break
+		}
+
+		// Immediate transitions pre-empt time.
+		if tr, ok := pickImmediate(si.succ, rnd); ok {
+			zeroStreak++
+			if zeroStreak > 1_000_000 {
+				return nil, events, ErrImmediateLivelock
+			}
+			countFiring(tr.Label)
+			state = tr.Next
+			events++
+			continue
+		}
+
+		// Timed step: sample clocks for newly enabled activities.
+		enabled := make(map[Activity]bool, len(si.succ))
+		for i := range si.succ {
+			tr := &si.succ[i]
+			act := Activity{
+				Instance: r.model.InstanceName(tr.ActiveInst),
+				Action:   tr.ActiveAction,
+			}
+			if enabled[act] {
+				continue
+			}
+			enabled[act] = true
+			if _, have := clocks[act]; have {
+				continue
+			}
+			d, err := r.distributionFor(act, tr.Rate)
+			if err != nil {
+				return nil, events, fmt.Errorf("%w: %s.%s (label %s)",
+					ErrNoDistribution, act.Instance, act.Action, tr.Label)
+			}
+			clocks[act] = d.Sample(rnd)
+		}
+		// Enabling memory: drop clocks of disabled activities.
+		for act := range clocks {
+			if !enabled[act] {
+				delete(clocks, act)
+			}
+		}
+
+		// Fire the minimum clock.
+		var winner Activity
+		minRem := math.Inf(1)
+		first := true
+		for act, rem := range clocks {
+			if rem < minRem || (rem == minRem && less(act, winner)) || first {
+				winner, minRem = act, rem
+				first = false
+			}
+		}
+		dt := minRem
+		if dt > 0 {
+			zeroStreak = 0
+		} else {
+			zeroStreak++
+			if zeroStreak > 1_000_000 {
+				return nil, events, ErrImmediateLivelock
+			}
+		}
+		if now+dt >= endTime {
+			accrue(si, endTime-now)
+			now = endTime
+			break
+		}
+		accrue(si, dt)
+		for act := range clocks {
+			clocks[act] -= dt
+		}
+		delete(clocks, winner)
+		now += dt
+
+		// Choose uniformly among the winner's transitions (usually one).
+		var cands []int
+		for i := range si.succ {
+			tr := &si.succ[i]
+			if r.model.InstanceName(tr.ActiveInst) == winner.Instance &&
+				tr.ActiveAction == winner.Action {
+				cands = append(cands, i)
+			}
+		}
+		tr := &si.succ[cands[0]]
+		if len(cands) > 1 {
+			tr = &si.succ[cands[rnd.Intn(len(cands))]]
+		}
+		countFiring(tr.Label)
+		state = tr.Next
+		events++
+	}
+
+	// Normalize by the segment length.
+	T := r.cfg.RunLength
+	out := make([][]float64, segments)
+	for k := 0; k < segments; k++ {
+		vals := make([]float64, len(r.cfg.Measures))
+		for mi := range r.cfg.Measures {
+			v := 0.0
+			for _, i := range r.stateOf[mi] {
+				v += stateAcc[k][i] / T
+			}
+			for _, i := range r.transOf[mi] {
+				v += transAcc[k][i] / T
+			}
+			vals[mi] = v
+		}
+		out[k] = vals
+	}
+	return out, events, nil
+}
+
+// distributionFor resolves the duration distribution of an activity.
+func (r *runner) distributionFor(act Activity, rate rates.Rate) (dist.Distribution, error) {
+	if d, ok := r.cfg.Distributions[act]; ok {
+		return d, nil
+	}
+	if rate.Kind == rates.Exp {
+		return dist.NewExp(rate.Lambda), nil
+	}
+	return nil, ErrNoDistribution
+}
+
+// pickImmediate selects an immediate transition by priority and weight,
+// if any is enabled.
+func pickImmediate(succ []elab.Transition, rnd *rng.Rand) (*elab.Transition, bool) {
+	maxPrio := math.MinInt32
+	total := 0.0
+	for i := range succ {
+		if succ[i].Rate.Kind != rates.Immediate {
+			continue
+		}
+		if succ[i].Rate.Priority > maxPrio {
+			maxPrio = succ[i].Rate.Priority
+			total = 0
+		}
+		if succ[i].Rate.Priority == maxPrio {
+			total += succ[i].Rate.Weight
+		}
+	}
+	if total == 0 {
+		return nil, false
+	}
+	u := rnd.Float64() * total
+	acc := 0.0
+	var last *elab.Transition
+	for i := range succ {
+		if succ[i].Rate.Kind != rates.Immediate || succ[i].Rate.Priority != maxPrio {
+			continue
+		}
+		last = &succ[i]
+		acc += succ[i].Rate.Weight
+		if u < acc {
+			return &succ[i], true
+		}
+	}
+	return last, last != nil
+}
+
+// less gives activities a total order for deterministic tie-breaking.
+func less(a, b Activity) bool {
+	if a.Instance != b.Instance {
+		return a.Instance < b.Instance
+	}
+	return a.Action < b.Action
+}
