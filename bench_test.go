@@ -6,6 +6,7 @@ package repro
 // the cmd/ tools run the full sweeps.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bisim"
@@ -173,6 +174,7 @@ func BenchmarkWeakBisim(b *testing.B) {
 	notLow := func(s string) bool { return !low(s) }
 	hidden := lts.Hide(l, notLow)
 	restricted := lts.Hide(lts.Restrict(l, high), notLow)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ok, _ := bisim.Equivalent(hidden, restricted, bisim.Weak); !ok {
@@ -273,3 +275,70 @@ func BenchmarkStartupTransient(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel experiment engine: sequential vs parallel ---
+//
+// The pairs below run the same sweep at Workers=1 and
+// Workers=runtime.NumCPU(); by the engine's determinism contract both
+// produce bit-identical results, so the delta is pure wall-clock. On a
+// single-core machine the pairs coincide (the pool degenerates to one
+// worker); results/BENCH_parallel.json records measured numbers with the
+// core count.
+
+func benchFig3General(b *testing.B, workers int) {
+	settings := core.SimSettings{RunLength: 2000, Replications: 8, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3General([]float64{2, 5, 10, 15, 20, 25}, settings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3GeneralSequential(b *testing.B) { benchFig3General(b, 1) }
+func BenchmarkFig3GeneralParallel(b *testing.B)   { benchFig3General(b, runtime.NumCPU()) }
+
+func benchFig4Markov(b *testing.B, workers int) {
+	old := experiments.DefaultWorkers
+	experiments.DefaultWorkers = workers
+	defer func() { experiments.DefaultWorkers = old }()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4Markov([]float64{50, 100, 200, 400, 800}, experiments.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4MarkovSequential(b *testing.B) { benchFig4Markov(b, 1) }
+func BenchmarkFig4MarkovParallel(b *testing.B)   { benchFig4Markov(b, runtime.NumCPU()) }
+
+func benchSimReplications(b *testing.B, workers int) {
+	p := models.DefaultRPCParams()
+	p.ShutdownTimeout = 5
+	a, err := models.BuildRPCRevised(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dists := models.RPCGeneralDistributions(p)
+	measures := models.RPCMeasures(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{
+			Model:         m,
+			Distributions: dists,
+			Measures:      measures,
+			RunLength:     1000,
+			Replications:  8,
+			Seed:          uint64(i + 1),
+			Workers:       workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimReplicationsSequential(b *testing.B) { benchSimReplications(b, 1) }
+func BenchmarkSimReplicationsParallel(b *testing.B)   { benchSimReplications(b, runtime.NumCPU()) }

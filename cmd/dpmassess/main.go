@@ -7,7 +7,7 @@
 //	dpmassess check    -high INST -low INST [-high-labels l1,l2] model.aem
 //	dpmassess solve    -measures spec.msr model.aem
 //	dpmassess sim      -measures spec.msr [-runlength T] [-warmup T]
-//	                   [-reps N] [-seed S] model.aem
+//	                   [-reps N] [-seed S] [-workers N] model.aem
 //	dpmassess equiv    [-relation strong|weak|markovian] a.aem b.aem
 //	dpmassess minimize [-relation strong|weak|markovian] [-dot out.dot] model.aem
 //	dpmassess mc       -formula 'EXISTS_WEAK_TRANS(...)' [-hide-except INST] model.aem
@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/aemilia/parser"
@@ -382,6 +383,8 @@ func runSim(args []string) error {
 	reps := fs.Int("reps", 30, "independent replications")
 	seed := fs.Uint64("seed", 1, "master random seed")
 	level := fs.Float64("confidence", 0.90, "confidence level")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"concurrent replications (estimates are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -410,6 +413,7 @@ func runSim(args []string) error {
 		Replications:    *reps,
 		Seed:            *seed,
 		ConfidenceLevel: *level,
+		Workers:         *workers,
 	})
 	if err != nil {
 		return err

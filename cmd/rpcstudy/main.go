@@ -7,13 +7,14 @@
 // Usage:
 //
 //	rpcstudy [-experiment all|sect3|fig3markov|fig3general|fig5|fig7]
-//	         [-csv] [-quick]
+//	         [-csv] [-quick] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -31,13 +32,16 @@ func run(args []string) error {
 	experiment := fs.String("experiment", "all", "which experiment to run (all, sect3, fig3markov, fig3general, fig5, fig7, policies, battery)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	quick := fs.Bool("quick", false, "shorter simulations (smoke run)")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"concurrent sweep points and simulation replications (results are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	settings := core.SimSettings{}
+	experiments.DefaultWorkers = *workers
+	settings := core.SimSettings{Workers: *workers}
 	if *quick {
-		settings = core.SimSettings{RunLength: 4000, Replications: 8}
+		settings = core.SimSettings{RunLength: 4000, Replications: 8, Workers: *workers}
 	}
 	render := experiments.FormatTable
 	if *csv {

@@ -6,12 +6,14 @@
 // Usage:
 //
 //	streamingstudy [-experiment all|sect3|fig4|fig6|fig8] [-csv] [-quick]
+//	               [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -29,15 +31,18 @@ func run(args []string) error {
 	experiment := fs.String("experiment", "all", "which experiment to run (all, sect3, fig4, fig6, fig8, transient)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	quick := fs.Bool("quick", false, "small buffers and shorter simulations (smoke run)")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"concurrent sweep points and simulation replications (results are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	experiments.DefaultWorkers = *workers
 	scale := experiments.Full
-	settings := core.SimSettings{}
+	settings := core.SimSettings{Workers: *workers}
 	if *quick {
 		scale = experiments.Quick
-		settings = core.SimSettings{RunLength: 60000, Warmup: 20000, Replications: 5}
+		settings = core.SimSettings{RunLength: 60000, Warmup: 20000, Replications: 5, Workers: *workers}
 	}
 	render := experiments.FormatTable
 	if *csv {

@@ -298,42 +298,60 @@ type refineResult struct {
 // blocks returns the final partition.
 func (r *refineResult) blocks() []int { return r.history[len(r.history)-1] }
 
-// refine runs signature refinement to a fixed point.
+// refine runs signature refinement to a fixed point. The per-state label
+// lists, the block-dedup stamps, and the two partition buffers are
+// allocated once and reused across rounds: only the signature strings and
+// the history snapshots survive a round.
 func refine(s *sat) *refineResult {
 	n := s.n
 	cur := make([]int, n) // all states in block 0
+	next := make([]int, n)
 	res := &refineResult{s: s}
 	res.history = append(res.history, append([]int(nil), cur...))
 
+	// Per-state sorted label lists, computed once: the successor structure
+	// never changes between rounds, only the partition does.
+	stateLabels := make([][]int32, n)
+	for st := 0; st < n; st++ {
+		labels := make([]int32, 0, len(s.succ[st]))
+		for label := range s.succ[st] {
+			labels = append(labels, label)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		stateLabels[st] = labels
+	}
+
+	// mark stamps the blocks already collected for the current
+	// (state, label) pair — a generation counter instead of a per-pair
+	// map (block ids are < n, so a flat slice suffices).
+	mark := make([]int, n)
+	gen := 0
+	blockBuf := make([]int, 0, 16)
+	sigs := make(map[string]int, n)
+	var sb strings.Builder
+
 	numBlocks := 1
 	for {
-		sigs := make(map[string]int, numBlocks*2)
-		next := make([]int, n)
-		var sb strings.Builder
+		clear(sigs)
 		for st := 0; st < n; st++ {
 			sb.Reset()
 			// Previous block first, so each round refines the last.
 			sb.WriteString(strconv.Itoa(cur[st]))
-			labels := make([]int32, 0, len(s.succ[st]))
-			for label := range s.succ[st] {
-				labels = append(labels, label)
-			}
-			sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-			for _, label := range labels {
-				var blockSet []int
-				seen := make(map[int]bool)
+			for _, label := range stateLabels[st] {
+				gen++
+				blockBuf = blockBuf[:0]
 				for _, d := range s.succ[st][label] {
 					b := cur[d]
-					if !seen[b] {
-						seen[b] = true
-						blockSet = append(blockSet, b)
+					if mark[b] != gen {
+						mark[b] = gen
+						blockBuf = append(blockBuf, b)
 					}
 				}
-				sort.Ints(blockSet)
+				sort.Ints(blockBuf)
 				sb.WriteByte('|')
 				sb.WriteString(strconv.Itoa(int(label)))
 				sb.WriteByte(':')
-				for _, b := range blockSet {
+				for _, b := range blockBuf {
 					sb.WriteString(strconv.Itoa(b))
 					sb.WriteByte(',')
 				}
@@ -351,7 +369,7 @@ func refine(s *sat) *refineResult {
 			return res
 		}
 		numBlocks = len(sigs)
-		cur = next
+		cur, next = next, cur
 	}
 }
 

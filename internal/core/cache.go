@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/aemilia"
+	"repro/internal/elab"
+)
+
+// BuildCache memoizes elaborated architectural models keyed by their
+// parameter set, so that sweeps which rebuild the same structure — the
+// shared no-DPM baseline, the exact/simulated pair of a cross-validation
+// point — parse and elaborate it once. An elaborated model is immutable,
+// so a cached *elab.Model may be shared by any number of goroutines; the
+// cache itself is safe for concurrent use and builds every key exactly
+// once, with duplicate suppression when several sweep workers ask for the
+// same key simultaneously.
+type BuildCache[K comparable] struct {
+	mu      sync.Mutex
+	entries map[K]*cacheEntry
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	model *elab.Model
+	err   error
+}
+
+// Elaborated returns the model for key, building and elaborating it on
+// first use. A failed build is cached too: retrying with the same key
+// returns the same error without rebuilding.
+func (c *BuildCache[K]) Elaborated(key K, build func() (*aemilia.ArchiType, error)) (*elab.Model, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*cacheEntry)
+	}
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		a, err := build()
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.model, e.err = elab.Elaborate(a)
+	})
+	return e.model, e.err
+}
+
+// Len reports the number of cached keys.
+func (c *BuildCache[K]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

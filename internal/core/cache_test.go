@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/aemilia"
+	"repro/internal/models"
+)
+
+func TestBuildCacheBuildsOnce(t *testing.T) {
+	var cache BuildCache[models.RPCParams]
+	var builds atomic.Int32
+	p := models.DefaultRPCParams()
+	build := func() (*aemilia.ArchiType, error) {
+		builds.Add(1)
+		return models.BuildRPCRevised(p)
+	}
+
+	first, err := cache.Elaborated(p, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cache.Elaborated(p, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Error("expected the same cached *elab.Model pointer")
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1", n)
+	}
+
+	// A different key builds separately.
+	p2 := p
+	p2.MeanServiceTime *= 2
+	if _, err := cache.Elaborated(p2, func() (*aemilia.ArchiType, error) {
+		builds.Add(1)
+		return models.BuildRPCRevised(p2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Errorf("build ran %d times after second key, want 2", n)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache.Len() = %d, want 2", cache.Len())
+	}
+}
+
+func TestBuildCacheSingleFlight(t *testing.T) {
+	var cache BuildCache[int]
+	var builds atomic.Int32
+	p := models.DefaultRPCParams()
+
+	var wg sync.WaitGroup
+	results := make([]*struct {
+		m   any
+		err error
+	}, 16)
+	for i := range results {
+		results[i] = &struct {
+			m   any
+			err error
+		}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := cache.Elaborated(0, func() (*aemilia.ArchiType, error) {
+				builds.Add(1)
+				return models.BuildRPCRevised(p)
+			})
+			results[i].m, results[i].err = m, err
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("concurrent lookups ran the build %d times, want 1", n)
+	}
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("goroutine %d: %v", i, r.err)
+		}
+		if r.m != results[0].m {
+			t.Errorf("goroutine %d saw a different model", i)
+		}
+	}
+}
+
+func TestBuildCacheCachesErrors(t *testing.T) {
+	var cache BuildCache[string]
+	boom := errors.New("boom")
+	var builds atomic.Int32
+	build := func() (*aemilia.ArchiType, error) {
+		builds.Add(1)
+		return nil, boom
+	}
+	if _, err := cache.Elaborated("bad", build); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := cache.Elaborated("bad", build); !errors.Is(err, boom) {
+		t.Fatalf("retry err = %v, want cached boom", err)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("failed build ran %d times, want 1", n)
+	}
+}

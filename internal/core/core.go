@@ -79,6 +79,12 @@ func Phase2(arch *aemilia.ArchiType, measures []measure.Measure, opts lts.Genera
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
+	return Phase2Model(m, measures, opts)
+}
+
+// Phase2Model is Phase2 on an already-elaborated model — the entry point
+// for sweeps that reuse models from a BuildCache.
+func Phase2Model(m *elab.Model, measures []measure.Measure, opts lts.GenerateOptions) (*Phase2Report, error) {
 	opts.Predicates = append(opts.Predicates, measure.StatePreds(measures)...)
 	l, err := lts.Generate(m, opts)
 	if err != nil {
@@ -127,6 +133,12 @@ type SimSettings struct {
 	Seed uint64
 	// ConfidenceLevel of the reported intervals (default 0.90).
 	ConfidenceLevel float64
+	// Workers bounds the concurrency of the experiment: the number of
+	// simulation replications in flight (sim.Config.Workers) and, for the
+	// sweep drivers in internal/experiments, the number of concurrent
+	// sweep points. 0 falls back to the experiments package default.
+	// Results are bit-identical at any worker count.
+	Workers int
 }
 
 // Phase3 simulates the model with the given duration overrides and
@@ -137,6 +149,13 @@ func Phase3(arch *aemilia.ArchiType, dists map[sim.Activity]dist.Distribution,
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 3: %w", err)
 	}
+	return Phase3Model(m, dists, measures, settings)
+}
+
+// Phase3Model is Phase3 on an already-elaborated model — the entry point
+// for sweeps that reuse models from a BuildCache.
+func Phase3Model(m *elab.Model, dists map[sim.Activity]dist.Distribution,
+	measures []measure.Measure, settings SimSettings) (*Phase3Report, error) {
 	res, err := sim.Run(sim.Config{
 		Model:           m,
 		Distributions:   dists,
@@ -146,6 +165,7 @@ func Phase3(arch *aemilia.ArchiType, dists map[sim.Activity]dist.Distribution,
 		Replications:    settings.Replications,
 		Seed:            settings.Seed,
 		ConfidenceLevel: settings.ConfidenceLevel,
+		Workers:         settings.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 3: %w", err)

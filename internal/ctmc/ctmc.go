@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/lts"
 	"repro/internal/rates"
@@ -101,11 +102,13 @@ func Build(l *lts.LTS) (*CTMC, error) {
 	for i := range c.vanPos {
 		c.vanPos[i] = -1
 	}
-	branchesOf := make(map[int][]branch, 16)
+	branchesOf := make([][]branch, n)
+	numVanishing := 0
 	for s := 0; s < n; s++ {
 		if !isVanishing[s] {
 			continue
 		}
+		numVanishing++
 		maxPrio := math.MinInt32
 		for _, t := range l.Out(s) {
 			if t.Rate.Kind == rates.Immediate && t.Rate.Priority > maxPrio {
@@ -129,10 +132,11 @@ func Build(l *lts.LTS) (*CTMC, error) {
 	}
 
 	// Topological order of the vanishing subgraph (Kahn); a leftover node
-	// means a timeless trap.
-	indeg := make(map[int]int, len(branchesOf))
-	for s := range branchesOf {
-		indeg[s] += 0
+	// means a timeless trap. All scans run in ascending state order so the
+	// elimination order — and with it every floating-point accumulation
+	// downstream — is the same on every run.
+	indeg := make([]int, n)
+	for s := 0; s < n; s++ {
 		for _, b := range branchesOf[s] {
 			if isVanishing[b.dst] {
 				indeg[b.dst]++
@@ -140,8 +144,8 @@ func Build(l *lts.LTS) (*CTMC, error) {
 		}
 	}
 	var queue []int
-	for s, d := range indeg {
-		if d == 0 {
+	for s := 0; s < n; s++ {
+		if isVanishing[s] && indeg[s] == 0 {
 			queue = append(queue, s)
 		}
 	}
@@ -160,25 +164,28 @@ func Build(l *lts.LTS) (*CTMC, error) {
 			}
 		}
 	}
-	if len(c.vanishing) != len(branchesOf) {
+	if len(c.vanishing) != numVanishing {
 		return nil, ErrTimelessTrap
 	}
 
 	// Absorption distributions of vanishing states over tangible states,
-	// in reverse topological order.
-	absorb := make([]map[int]float64, len(c.vanishing))
+	// in reverse topological order. Each distribution is kept as a slice
+	// sorted by target state, so later accumulations visit targets in a
+	// canonical order (map iteration would reorder the float sums from run
+	// to run and perturb the last bits of the steady-state solution).
+	absorb := make([][]absorbEntry, len(c.vanishing))
 	for i := len(c.vanishing) - 1; i >= 0; i-- {
 		dist := make(map[int]float64, 4)
 		for _, b := range c.branches[i] {
 			if isVanishing[b.dst] {
-				for t, p := range absorb[c.vanPos[b.dst]] {
-					dist[t] += b.prob * p
+				for _, ae := range absorb[c.vanPos[b.dst]] {
+					dist[ae.tgt] += b.prob * ae.prob
 				}
 			} else {
 				dist[b.dst] += b.prob
 			}
 		}
-		absorb[i] = dist
+		absorb[i] = sortedAbsorb(dist)
 	}
 
 	// Index tangible states.
@@ -210,8 +217,8 @@ func Build(l *lts.LTS) (*CTMC, error) {
 					src: s, dst: t.Dst, rate: t.Rate.Lambda, ltsTrans: base + i,
 				})
 				if isVanishing[t.Dst] {
-					for tgt, p := range absorb[c.vanPos[t.Dst]] {
-						acc[c.ctmcIndex[tgt]] += t.Rate.Lambda * p
+					for _, ae := range absorb[c.vanPos[t.Dst]] {
+						acc[c.ctmcIndex[ae.tgt]] += t.Rate.Lambda * ae.prob
 					}
 				} else {
 					acc[c.ctmcIndex[t.Dst]] += t.Rate.Lambda
@@ -229,7 +236,14 @@ func Build(l *lts.LTS) (*CTMC, error) {
 				continue // self-loops do not affect the steady state
 			}
 			row = append(row, Entry{Col: col, Rate: rate})
-			c.Exit[ci] += rate
+		}
+		// Canonical column order: the solver and the transient iteration sum
+		// row entries in sequence, so a stable order keeps results
+		// reproducible bit for bit (and the ascending access pattern is
+		// friendlier to the flattened Gauss-Seidel sweeps).
+		sort.Slice(row, func(a, b int) bool { return row[a].Col < row[b].Col })
+		for _, e := range row {
+			c.Exit[ci] += e.Rate
 		}
 		c.Rows[ci] = row
 	}
@@ -237,13 +251,29 @@ func Build(l *lts.LTS) (*CTMC, error) {
 	// Initial distribution.
 	c.Initial = make([]float64, c.N)
 	if isVanishing[l.Initial] {
-		for t, p := range absorb[c.vanPos[l.Initial]] {
-			c.Initial[c.ctmcIndex[t]] += p
+		for _, ae := range absorb[c.vanPos[l.Initial]] {
+			c.Initial[c.ctmcIndex[ae.tgt]] += ae.prob
 		}
 	} else {
 		c.Initial[c.ctmcIndex[l.Initial]] = 1
 	}
 	return c, nil
+}
+
+// absorbEntry is one target of an absorption distribution.
+type absorbEntry struct {
+	tgt  int // tangible LTS state
+	prob float64
+}
+
+// sortedAbsorb converts an absorption map to a slice sorted by target.
+func sortedAbsorb(dist map[int]float64) []absorbEntry {
+	out := make([]absorbEntry, 0, len(dist))
+	for t, p := range dist {
+		out = append(out, absorbEntry{tgt: t, prob: p})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].tgt < out[b].tgt })
+	return out
 }
 
 // transBase returns the index of the first transition of state s in the

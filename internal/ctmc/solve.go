@@ -19,6 +19,28 @@ type SolveOptions struct {
 // bound.
 var ErrNoConvergence = errors.New("ctmc: steady-state solver did not converge")
 
+// ConvergenceError is the concrete failure SteadyState returns when the
+// Gauss-Seidel iteration gives up: it wraps ErrNoConvergence (so
+// errors.Is keeps working) and carries the iteration count and the last
+// residual, making sweep failures diagnosable at the call site.
+type ConvergenceError struct {
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Residual is the max relative change of the last sweep.
+	Residual float64
+	// Tolerance is the convergence threshold that was not reached.
+	Tolerance float64
+}
+
+// Error implements the error interface.
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("%v after %d iterations (residual %.3g, tolerance %.3g)",
+		ErrNoConvergence, e.Iterations, e.Residual, e.Tolerance)
+}
+
+// Unwrap makes errors.Is(err, ErrNoConvergence) hold.
+func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
+
 // SteadyState computes the long-run probability distribution over tangible
 // states. The chain may be reducible as long as a single bottom strongly
 // connected component is reachable from the initial distribution (the
@@ -62,17 +84,33 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 		inComp[s] = true
 		local[s] = li
 	}
-	// Incoming adjacency within the component.
-	type inEdge struct {
-		from int // local index
-		rate float64
-	}
-	incoming := make([][]inEdge, len(target))
+	// Incoming adjacency within the component, flattened CSR-style: the
+	// incoming edges of local state j are inFrom/inRate[inStart[j]:
+	// inStart[j+1]]. Two flat arrays instead of a slice-of-slices keep the
+	// per-sweep inner loop on contiguous memory and cost three allocations
+	// per solve, however often a sweep rebuilds the chain.
+	inStart := make([]int32, len(target)+1)
 	for _, s := range target {
 		for _, e := range c.Rows[s] {
 			if inComp[e.Col] {
-				incoming[local[e.Col]] = append(incoming[local[e.Col]],
-					inEdge{from: local[s], rate: e.Rate})
+				inStart[local[e.Col]+1]++
+			}
+		}
+	}
+	for j := 0; j < len(target); j++ {
+		inStart[j+1] += inStart[j]
+	}
+	inFrom := make([]int32, inStart[len(target)])
+	inRate := make([]float64, inStart[len(target)])
+	fill := make([]int32, len(target))
+	copy(fill, inStart[:len(target)])
+	for _, s := range target {
+		for _, e := range c.Rows[s] {
+			if inComp[e.Col] {
+				j := local[e.Col]
+				inFrom[fill[j]] = int32(local[s])
+				inRate[fill[j]] = e.Rate
+				fill[j]++
 			}
 		}
 	}
@@ -80,16 +118,17 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 	for i := range x {
 		x[i] = 1 / float64(len(target))
 	}
+	maxDelta := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		maxDelta := 0.0
+		maxDelta = 0.0
 		for j := range target {
 			exit := c.Exit[target[j]]
 			if exit <= 0 {
 				continue
 			}
 			inflow := 0.0
-			for _, e := range incoming[j] {
-				inflow += x[e.from] * e.rate
+			for k := inStart[j]; k < inStart[j+1]; k++ {
+				inflow += x[inFrom[k]] * inRate[k]
 			}
 			next := inflow / exit
 			d := math.Abs(next - x[j])
@@ -104,7 +143,7 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 			sum += v
 		}
 		if sum <= 0 {
-			return nil, ErrNoConvergence
+			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance}
 		}
 		for j := range x {
 			x[j] /= sum
@@ -116,7 +155,7 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 			return pi, nil
 		}
 	}
-	return nil, ErrNoConvergence
+	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance}
 }
 
 // reachableFromInitial returns the set of tangible states reachable from

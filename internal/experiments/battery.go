@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/ctmc"
-	"repro/internal/elab"
 	"repro/internal/lts"
 	"repro/internal/measure"
 	"repro/internal/models"
@@ -29,7 +28,9 @@ type BatteryPoint struct {
 
 // BatteryLifetime computes, for every DPM policy, how long a battery with
 // the given energy budget powers the rpc server, by integrating the
-// transient energy rate of the CTMC (uniformization steps of dt).
+// transient energy rate of the CTMC (uniformization steps of dt). The
+// four policies are analysed concurrently (DefaultWorkers) and reported
+// in taxonomy order.
 func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 	if budget <= 0 || dt <= 0 {
 		return nil, fmt.Errorf("experiments: budget and dt must be positive")
@@ -40,28 +41,23 @@ func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 		models.PolicyTimeout,
 		models.PolicyPredictive,
 	}
-	out := make([]BatteryPoint, 0, len(policies))
-	for _, pol := range policies {
+	return RunPoints(policies, workersOr(0), func(pol models.Policy) (BatteryPoint, error) {
 		p := models.DefaultRPCParams()
 		p.Policy = pol
 		p.WithDPM = pol != models.PolicyNone
 		p.ShutdownTimeout = timeout
-		a, err := models.BuildRPCRevised(p)
+		m, err := rpcModel(p)
 		if err != nil {
-			return nil, err
-		}
-		m, err := elab.Elaborate(a)
-		if err != nil {
-			return nil, err
+			return BatteryPoint{}, err
 		}
 		measures := models.RPCMeasures(p)
 		l, err := lts.Generate(m, lts.GenerateOptions{Predicates: measure.StatePreds(measures)})
 		if err != nil {
-			return nil, err
+			return BatteryPoint{}, err
 		}
 		chain, err := ctmc.Build(l)
 		if err != nil {
-			return nil, err
+			return BatteryPoint{}, err
 		}
 
 		energyAt := func(pi []float64) (float64, error) {
@@ -89,7 +85,7 @@ func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 		pi := append([]float64(nil), chain.Initial...)
 		eRate, err := energyAt(pi)
 		if err != nil {
-			return nil, err
+			return BatteryPoint{}, err
 		}
 		tRate := throughputAt(pi)
 		var (
@@ -100,12 +96,12 @@ func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 		const maxSteps = 1_000_000
 		for step := 0; consumed < budget; step++ {
 			if step >= maxSteps {
-				return nil, fmt.Errorf("experiments: battery integration exceeded %d steps", maxSteps)
+				return BatteryPoint{}, fmt.Errorf("experiments: battery integration exceeded %d steps", maxSteps)
 			}
 			next := chain.TransientFrom(pi, dt, 1e-9)
 			eNext, err := energyAt(next)
 			if err != nil {
-				return nil, err
+				return BatteryPoint{}, err
 			}
 			tNext := throughputAt(next)
 			dE := (eRate + eNext) / 2 * dt
@@ -127,14 +123,13 @@ func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 		if elapsed > 0 {
 			mp = budget / elapsed
 		}
-		out = append(out, BatteryPoint{
+		return BatteryPoint{
 			Policy:         pol,
 			Lifetime:       elapsed,
 			RequestsServed: served,
 			MeanPower:      mp,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // BatteryRows renders battery points as table rows.

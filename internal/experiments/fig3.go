@@ -41,7 +41,8 @@ func DefaultRPCTimeouts() []float64 {
 }
 
 // Fig3Markov reproduces the left-hand side of paper Fig. 3: the Markovian
-// rpc comparison across DPM shutdown timeouts.
+// rpc comparison across DPM shutdown timeouts. Sweep points are solved
+// concurrently (DefaultWorkers) and reported in timeout order.
 func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 	if timeouts == nil {
 		timeouts = DefaultRPCTimeouts()
@@ -49,40 +50,40 @@ func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 	// The no-DPM system does not depend on the timeout: solve it once.
 	p0 := models.DefaultRPCParams()
 	p0.WithDPM = false
-	a0, err := models.BuildRPCRevised(p0)
+	m0, err := rpcModel(p0)
 	if err != nil {
 		return nil, err
 	}
-	rep0, err := core.Phase2(a0, models.RPCMeasures(p0), lts.GenerateOptions{})
+	rep0, err := core.Phase2Model(m0, models.RPCMeasures(p0), lts.GenerateOptions{})
 	if err != nil {
 		return nil, err
 	}
 	base := rpcMetricsFromValues(rep0.Values)
 
-	out := make([]RPCPoint, 0, len(timeouts))
-	for _, T := range timeouts {
+	return RunPoints(timeouts, workersOr(0), func(T float64) (RPCPoint, error) {
 		p := models.DefaultRPCParams()
 		p.ShutdownTimeout = T
-		a, err := models.BuildRPCRevised(p)
+		m, err := rpcModel(p)
 		if err != nil {
-			return nil, err
+			return RPCPoint{}, err
 		}
-		rep, err := core.Phase2(a, models.RPCMeasures(p), lts.GenerateOptions{})
+		rep, err := core.Phase2Model(m, models.RPCMeasures(p), lts.GenerateOptions{})
 		if err != nil {
-			return nil, err
+			return RPCPoint{}, err
 		}
-		out = append(out, RPCPoint{
+		return RPCPoint{
 			Timeout: T,
 			WithDPM: rpcMetricsFromValues(rep.Values),
 			NoDPM:   base,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Fig3General reproduces the right-hand side of paper Fig. 3: the general
 // rpc model (deterministic timings, Gaussian channel) simulated across
-// deterministic shutdown timeouts.
+// deterministic shutdown timeouts. Sweep points and the replications
+// within each run concurrently (settings.Workers, or DefaultWorkers);
+// results are bit-identical at any worker count.
 func Fig3General(timeouts []float64, settings core.SimSettings) ([]RPCPoint, error) {
 	if timeouts == nil {
 		timeouts = DefaultRPCTimeouts()
@@ -91,35 +92,33 @@ func Fig3General(timeouts []float64, settings core.SimSettings) ([]RPCPoint, err
 
 	p0 := models.DefaultRPCParams()
 	p0.WithDPM = false
-	a0, err := models.BuildRPCRevised(p0)
+	m0, err := rpcModel(p0)
 	if err != nil {
 		return nil, err
 	}
-	rep0, err := core.Phase3(a0, models.RPCGeneralDistributions(p0), models.RPCMeasures(p0), settings)
+	rep0, err := core.Phase3Model(m0, models.RPCGeneralDistributions(p0), models.RPCMeasures(p0), settings)
 	if err != nil {
 		return nil, err
 	}
 	base := rpcMetricsFromEstimates(rep0)
 
-	out := make([]RPCPoint, 0, len(timeouts))
-	for _, T := range timeouts {
+	return RunPoints(timeouts, settings.Workers, func(T float64) (RPCPoint, error) {
 		p := models.DefaultRPCParams()
 		p.ShutdownTimeout = T
-		a, err := models.BuildRPCRevised(p)
+		m, err := rpcModel(p)
 		if err != nil {
-			return nil, err
+			return RPCPoint{}, err
 		}
-		rep, err := core.Phase3(a, models.RPCGeneralDistributions(p), models.RPCMeasures(p), settings)
+		rep, err := core.Phase3Model(m, models.RPCGeneralDistributions(p), models.RPCMeasures(p), settings)
 		if err != nil {
-			return nil, err
+			return RPCPoint{}, err
 		}
-		out = append(out, RPCPoint{
+		return RPCPoint{
 			Timeout: T,
 			WithDPM: rpcMetricsFromEstimates(rep),
 			NoDPM:   base,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 func rpcMetricsFromEstimates(rep *core.Phase3Report) RPCMetrics {
@@ -145,6 +144,9 @@ func applyRPCSimDefaults(s *core.SimSettings) {
 	}
 	if s.Seed == 0 {
 		s.Seed = 20040628 // DSN 2004
+	}
+	if s.Workers == 0 {
+		s.Workers = workersOr(0)
 	}
 }
 

@@ -61,42 +61,41 @@ func streamingParams(scale Scale) models.StreamingParams {
 }
 
 // Fig4Markov reproduces paper Fig. 4: the Markovian streaming comparison
-// across PSP awake periods.
+// across PSP awake periods. Sweep points are solved concurrently
+// (DefaultWorkers) and reported in period order.
 func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
 	if periods == nil {
 		periods = DefaultAwakePeriods()
 	}
 	p0 := streamingParams(scale)
 	p0.WithDPM = false
-	a0, err := models.BuildStreaming(p0)
+	m0, err := streamingModel(p0)
 	if err != nil {
 		return nil, err
 	}
-	rep0, err := core.Phase2(a0, models.StreamingMeasures(p0), lts.GenerateOptions{})
+	rep0, err := core.Phase2Model(m0, models.StreamingMeasures(p0), lts.GenerateOptions{})
 	if err != nil {
 		return nil, err
 	}
 	base := streamingMetricsFromValues(rep0.Values)
 
-	out := make([]StreamingPoint, 0, len(periods))
-	for _, P := range periods {
+	return RunPoints(periods, workersOr(0), func(P float64) (StreamingPoint, error) {
 		p := streamingParams(scale)
 		p.AwakePeriod = P
-		a, err := models.BuildStreaming(p)
+		m, err := streamingModel(p)
 		if err != nil {
-			return nil, err
+			return StreamingPoint{}, err
 		}
-		rep, err := core.Phase2(a, models.StreamingMeasures(p), lts.GenerateOptions{})
+		rep, err := core.Phase2Model(m, models.StreamingMeasures(p), lts.GenerateOptions{})
 		if err != nil {
-			return nil, err
+			return StreamingPoint{}, err
 		}
-		out = append(out, StreamingPoint{
+		return StreamingPoint{
 			Period:  P,
 			WithDPM: streamingMetricsFromValues(rep.Values),
 			NoDPM:   base,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Fig4Rows renders Fig. 4/6 points as table rows.

@@ -31,6 +31,9 @@ type ValidationPoint struct {
 // simulated with exponential distributions matching the Markovian rates
 // (30 runs, 90% confidence intervals in the paper's setting) and the
 // server energy consumption is compared with the analytic solution.
+// Each sweep point elaborates its model once and shares it between the
+// analytic solution and the simulation; points run concurrently
+// (settings.Workers, or DefaultWorkers) in timeout order.
 func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]ValidationPoint, error) {
 	if timeouts == nil {
 		timeouts = []float64{1, 5, 10, 15, 20, 25}
@@ -38,15 +41,15 @@ func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]Validation
 	applyRPCSimDefaults(&settings)
 
 	solve := func(p models.RPCParams) (float64, stats.Interval, error) {
-		a, err := models.BuildRPCRevised(p)
+		m, err := rpcModel(p)
 		if err != nil {
 			return 0, stats.Interval{}, err
 		}
-		exact, err := core.Phase2(a, models.RPCMeasures(p), lts.GenerateOptions{})
+		exact, err := core.Phase2Model(m, models.RPCMeasures(p), lts.GenerateOptions{})
 		if err != nil {
 			return 0, stats.Interval{}, err
 		}
-		simRep, err := core.Phase3(a, models.RPCExponentialDistributions(p),
+		simRep, err := core.Phase3Model(m, models.RPCExponentialDistributions(p),
 			models.RPCMeasures(p), settings)
 		if err != nil {
 			return 0, stats.Interval{}, err
@@ -61,19 +64,18 @@ func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]Validation
 		return nil, err
 	}
 
-	out := make([]ValidationPoint, 0, len(timeouts))
-	for _, T := range timeouts {
+	return RunPoints(timeouts, settings.Workers, func(T float64) (ValidationPoint, error) {
 		p := models.DefaultRPCParams()
 		p.ShutdownTimeout = T
 		exact1, sim1, err := solve(p)
 		if err != nil {
-			return nil, err
+			return ValidationPoint{}, err
 		}
 		relErr := 0.0
 		if exact1 != 0 {
 			relErr = abs(sim1.Mean-exact1) / exact1
 		}
-		out = append(out, ValidationPoint{
+		return ValidationPoint{
 			Timeout:    T,
 			ExactDPM:   exact1,
 			SimDPM:     sim1,
@@ -81,9 +83,8 @@ func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]Validation
 			SimNoDPM:   sim0,
 			WithinCI:   sim1.Contains(exact1) && sim0.Contains(exact0),
 			RelErrDPM:  relErr,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 func abs(v float64) float64 {

@@ -20,11 +20,15 @@ func applyStreamingSimDefaults(s *core.SimSettings) {
 	if s.Seed == 0 {
 		s.Seed = 20040628
 	}
+	if s.Workers == 0 {
+		s.Workers = workersOr(0)
+	}
 }
 
 // Fig6General reproduces paper Fig. 6: the general streaming model
 // (constant bit-rate video, deterministic PSP periods, Gaussian channel)
-// simulated across awake periods.
+// simulated across awake periods. Sweep points and the replications
+// within each run concurrently (settings.Workers, or DefaultWorkers).
 func Fig6General(periods []float64, scale Scale, settings core.SimSettings) ([]StreamingPoint, error) {
 	if periods == nil {
 		periods = DefaultAwakePeriods()
@@ -43,11 +47,11 @@ func Fig6General(periods []float64, scale Scale, settings core.SimSettings) ([]S
 	}
 
 	run := func(p models.StreamingParams) (StreamingMetrics, error) {
-		a, err := models.BuildStreaming(p)
+		m, err := streamingModel(p)
 		if err != nil {
 			return StreamingMetrics{}, err
 		}
-		rep, err := core.Phase3(a, models.StreamingGeneralDistributions(p),
+		rep, err := core.Phase3Model(m, models.StreamingGeneralDistributions(p),
 			models.StreamingMeasures(p), settings)
 		if err != nil {
 			return StreamingMetrics{}, err
@@ -69,15 +73,13 @@ func Fig6General(periods []float64, scale Scale, settings core.SimSettings) ([]S
 		return nil, err
 	}
 
-	out := make([]StreamingPoint, 0, len(periods))
-	for _, P := range periods {
+	return RunPoints(periods, settings.Workers, func(P float64) (StreamingPoint, error) {
 		p := withDeadlines(streamingParams(scale))
 		p.AwakePeriod = P
 		m, err := run(p)
 		if err != nil {
-			return nil, err
+			return StreamingPoint{}, err
 		}
-		out = append(out, StreamingPoint{Period: P, WithDPM: m, NoDPM: base})
-	}
-	return out, nil
+		return StreamingPoint{Period: P, WithDPM: m, NoDPM: base}, nil
+	})
 }

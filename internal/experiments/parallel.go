@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aemilia"
+	"repro/internal/core"
+	"repro/internal/elab"
+	"repro/internal/models"
+)
+
+// DefaultWorkers is the sweep concurrency used when a caller does not set
+// core.SimSettings.Workers (and by the Markovian sweeps, which carry no
+// settings). The cmd/ tools override it from their -workers flag. Every
+// sweep merges its results in point order and every simulation assigns
+// replication-indexed random streams, so results are bit-identical at any
+// value.
+var DefaultWorkers = runtime.NumCPU()
+
+// workersOr resolves an explicit worker count against the package
+// default.
+func workersOr(n int) int {
+	if n > 0 {
+		return n
+	}
+	if DefaultWorkers > 0 {
+		return DefaultWorkers
+	}
+	return 1
+}
+
+// RunPoints evaluates fn over every point on a bounded worker pool and
+// returns the results in point order. Points are claimed in index order
+// and the pool stops handing out work after the first failure; the
+// reported error is the lowest-index one, exactly what a sequential loop
+// would return. workers <= 1 runs sequentially.
+func RunPoints[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, error) {
+	out := make([]R, len(points))
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for i, p := range points {
+			r, err := fn(p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		stop atomic.Bool
+		errs = make([]error, len(points))
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) || stop.Load() {
+					return
+				}
+				r, err := fn(points[i])
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Model-build caches shared by all sweeps of the package: the rpc and
+// streaming models are keyed by their full parameter sets, so the no-DPM
+// baselines, the repeated Markovian/general pairs of a cross-validation
+// point, and any overlap between figures (e.g. Fig. 7 rerunning the
+// Fig. 3 sweeps) are parsed and elaborated once per process.
+var (
+	rpcCache       core.BuildCache[models.RPCParams]
+	streamingCache core.BuildCache[models.StreamingParams]
+)
+
+// rpcModel returns the cached elaborated rpc model for p.
+func rpcModel(p models.RPCParams) (*elab.Model, error) {
+	return rpcCache.Elaborated(p, func() (*aemilia.ArchiType, error) {
+		return models.BuildRPCRevised(p)
+	})
+}
+
+// streamingModel returns the cached elaborated streaming model for p.
+func streamingModel(p models.StreamingParams) (*elab.Model, error) {
+	return streamingCache.Elaborated(p, func() (*aemilia.ArchiType, error) {
+		return models.BuildStreaming(p)
+	})
+}

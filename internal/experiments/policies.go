@@ -17,7 +17,8 @@ type PolicyPoint struct {
 
 // PolicyComparison solves the Markovian rpc model under every DPM policy
 // at the given shutdown timeout/period and returns the three Fig. 3
-// indices for each, with PolicyNone as the baseline.
+// indices for each, with PolicyNone as the baseline. The policies are
+// solved concurrently (DefaultWorkers) and reported in taxonomy order.
 func PolicyComparison(timeout float64) ([]PolicyPoint, error) {
 	policies := []models.Policy{
 		models.PolicyNone,
@@ -25,26 +26,24 @@ func PolicyComparison(timeout float64) ([]PolicyPoint, error) {
 		models.PolicyTimeout,
 		models.PolicyPredictive,
 	}
-	out := make([]PolicyPoint, 0, len(policies))
-	for _, pol := range policies {
+	return RunPoints(policies, workersOr(0), func(pol models.Policy) (PolicyPoint, error) {
 		p := models.DefaultRPCParams()
 		p.Policy = pol
 		p.WithDPM = pol != models.PolicyNone
 		p.ShutdownTimeout = timeout
-		a, err := models.BuildRPCRevised(p)
+		m, err := rpcModel(p)
 		if err != nil {
-			return nil, err
+			return PolicyPoint{}, err
 		}
-		rep, err := core.Phase2(a, models.RPCMeasures(p), lts.GenerateOptions{})
+		rep, err := core.Phase2Model(m, models.RPCMeasures(p), lts.GenerateOptions{})
 		if err != nil {
-			return nil, err
+			return PolicyPoint{}, err
 		}
-		out = append(out, PolicyPoint{
+		return PolicyPoint{
 			Policy:  pol,
 			Metrics: rpcMetricsFromValues(rep.Values),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // PolicyRows renders the comparison as table rows.

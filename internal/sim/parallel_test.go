@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelReplicationsBitIdentical checks the engine's central
+// determinism contract: the estimates of a replication experiment are
+// bit-identical at any worker count, because every replication draws from
+// its own split stream and observations merge in replication order.
+func TestParallelReplicationsBitIdentical(t *testing.T) {
+	m := workRestModel(t, 2, 1)
+	run := func(workers int) *Result {
+		res, err := Run(Config{
+			Model:        m,
+			Measures:     workRestMeasures,
+			RunLength:    500,
+			Warmup:       50,
+			Replications: 12,
+			Seed:         2004,
+			Workers:      workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		res := run(workers)
+		if res.Events != base.Events {
+			t.Errorf("workers=%d: events %d != sequential %d", workers, res.Events, base.Events)
+		}
+		if res.Replications != base.Replications {
+			t.Errorf("workers=%d: replications %d != %d", workers, res.Replications, base.Replications)
+		}
+		for name, want := range base.Estimates {
+			got, ok := res.Estimates[name]
+			if !ok {
+				t.Fatalf("workers=%d: estimate %s missing", workers, name)
+			}
+			// Exact float equality is the point: not "statistically
+			// close", the same bits.
+			if got != want {
+				t.Errorf("workers=%d: %s = %+v, sequential %+v", workers, name, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelFailFastLowestError checks that a parallel run reports the
+// same failure a sequential run would hit: the lowest-index failing
+// replication.
+func TestParallelFailFastLowestError(t *testing.T) {
+	m := workRestModel(t, 2, 1)
+	run := func(workers int) error {
+		_, err := Run(Config{
+			Model:        m,
+			Measures:     workRestMeasures,
+			RunLength:    500,
+			Replications: 8,
+			Seed:         7,
+			MaxEvents:    10, // every replication trips the bound
+			Workers:      workers,
+		})
+		return err
+	}
+	seq, par := run(1), run(6)
+	if seq == nil || par == nil {
+		t.Fatalf("expected MaxEvents failures, got seq=%v par=%v", seq, par)
+	}
+	if seq.Error() != par.Error() {
+		t.Errorf("parallel error %q != sequential %q", par, seq)
+	}
+	if !strings.Contains(par.Error(), "replication 0") {
+		t.Errorf("expected the lowest-index replication in %q", par)
+	}
+}
+
+// TestWorkersExceedingReplications clamps gracefully.
+func TestWorkersExceedingReplications(t *testing.T) {
+	m := workRestModel(t, 2, 1)
+	res, err := Run(Config{
+		Model:        m,
+		Measures:     workRestMeasures,
+		RunLength:    200,
+		Replications: 2,
+		Seed:         5,
+		Workers:      16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replications != 2 {
+		t.Errorf("replications = %d, want 2", res.Replications)
+	}
+}

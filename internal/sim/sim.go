@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/elab"
@@ -73,6 +75,12 @@ type Config struct {
 	ConfidenceLevel float64
 	// MaxEvents bounds the events per replication (default 50 million).
 	MaxEvents int
+	// Workers bounds the number of replications run concurrently
+	// (default 1, i.e. sequential). Every replication draws from its own
+	// split random stream and the per-replication observations are merged
+	// in replication-index order, so the estimates are bit-identical at
+	// any worker count. Ignored in batch-means mode (a single run).
+	Workers int
 }
 
 // Result reports simulation estimates.
@@ -142,6 +150,56 @@ func Run(cfg Config) (*Result, error) {
 		cfg.MaxEvents = 50_000_000
 	}
 
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	master := rng.New(cfg.Seed)
+	accs := make([]stats.Accumulator, len(cfg.Measures))
+	res := &Result{Estimates: make(map[string]stats.Interval, len(cfg.Measures))}
+	if cfg.Batches > 0 {
+		// Batch means: one long run, one observation per batch.
+		segs, events, err := r.replicate(master.Split(0), cfg.Batches)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch-means run: %w", err)
+		}
+		res.Events = events
+		for _, vals := range segs {
+			for i, v := range vals {
+				accs[i].Add(v)
+			}
+		}
+		res.Replications = cfg.Batches
+	} else {
+		vals, events, err := r.runReplications(master)
+		if err != nil {
+			return nil, err
+		}
+		res.Events = events
+		// Merge in replication-index order: the accumulator then sees the
+		// same observation sequence regardless of the worker count.
+		for _, obs := range vals {
+			for i, v := range obs {
+				accs[i].Add(v)
+			}
+		}
+		res.Replications = cfg.Replications
+	}
+	for i, m := range cfg.Measures {
+		if m.Derived {
+			continue
+		}
+		res.Estimates[m.Name] = accs[i].CI(cfg.ConfidenceLevel)
+	}
+	if _, err := measure.DeriveIntervals(cfg.Measures, res.Estimates); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// newRunner flattens the measure clauses of a configuration.
+func newRunner(cfg Config) (*runner, error) {
 	r := &runner{
 		cfg:       cfg,
 		model:     cfg.Model,
@@ -166,46 +224,93 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
+	return r, nil
+}
 
-	master := rng.New(cfg.Seed)
-	accs := make([]stats.Accumulator, len(cfg.Measures))
-	res := &Result{Estimates: make(map[string]stats.Interval, len(cfg.Measures))}
-	if cfg.Batches > 0 {
-		// Batch means: one long run, one observation per batch.
-		segs, events, err := r.replicate(master.Split(0), cfg.Batches)
-		if err != nil {
-			return nil, fmt.Errorf("sim: batch-means run: %w", err)
-		}
-		res.Events = events
-		for _, vals := range segs {
-			for i, v := range vals {
-				accs[i].Add(v)
-			}
-		}
-		res.Replications = cfg.Batches
-	} else {
-		for rep := 0; rep < cfg.Replications; rep++ {
-			segs, events, err := r.replicate(master.Split(uint64(rep)), 1)
+// fork returns a runner sharing the read-only configuration and flattened
+// clauses with its own state memo, for use by one worker goroutine.
+func (r *runner) fork() *runner {
+	return &runner{
+		cfg:          r.cfg,
+		model:        r.model,
+		stateMemo:    make(map[string]*stateInfo, 1024),
+		stateClauses: r.stateClauses,
+		transClauses: r.transClauses,
+		stateOf:      r.stateOf,
+		transOf:      r.transOf,
+	}
+}
+
+// runReplications executes cfg.Replications independent runs — on a
+// bounded worker pool when cfg.Workers > 1 — and returns the per-
+// replication measure values in replication order. Replication i always
+// draws from the split stream master.Split(i), so the values are
+// bit-identical at any worker count; the pool stops handing out work
+// after the first failure and the lowest-index error is reported, which
+// is the error a sequential run would hit.
+func (r *runner) runReplications(master *rng.Rand) ([][]float64, int64, error) {
+	reps := r.cfg.Replications
+	workers := r.cfg.Workers
+	if workers > reps {
+		workers = reps
+	}
+	out := make([][]float64, reps)
+	if workers <= 1 {
+		var events int64
+		for rep := 0; rep < reps; rep++ {
+			segs, ev, err := r.replicate(master.Split(uint64(rep)), 1)
 			if err != nil {
-				return nil, fmt.Errorf("sim: replication %d: %w", rep, err)
+				return nil, events, fmt.Errorf("sim: replication %d: %w", rep, err)
 			}
-			res.Events += events
-			for i, v := range segs[0] {
-				accs[i].Add(v)
+			events += ev
+			out[rep] = segs[0]
+		}
+		return out, events, nil
+	}
+
+	// Split the streams up front, in index order: Split only reads the
+	// master state, and replication i gets the same stream as sequentially.
+	streams := make([]*rng.Rand, reps)
+	for rep := range streams {
+		streams[rep] = master.Split(uint64(rep))
+	}
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		events atomic.Int64
+		stop   atomic.Bool
+		errs   = make([]error, reps)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wr := r.fork() // private state memo per worker
+			for {
+				rep := int(next.Add(1)) - 1
+				if rep >= reps || stop.Load() {
+					return
+				}
+				segs, ev, err := wr.replicate(streams[rep], 1)
+				events.Add(ev)
+				if err != nil {
+					errs[rep] = err
+					stop.Store(true)
+					return
+				}
+				out[rep] = segs[0]
 			}
+		}()
+	}
+	wg.Wait()
+	// Replications are claimed in index order, so every index below a
+	// failed one has run: the first recorded error is the sequential one.
+	for rep, err := range errs {
+		if err != nil {
+			return nil, events.Load(), fmt.Errorf("sim: replication %d: %w", rep, err)
 		}
-		res.Replications = cfg.Replications
 	}
-	for i, m := range cfg.Measures {
-		if m.Derived {
-			continue
-		}
-		res.Estimates[m.Name] = accs[i].CI(cfg.ConfidenceLevel)
-	}
-	if _, err := measure.DeriveIntervals(cfg.Measures, res.Estimates); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return out, events.Load(), nil
 }
 
 // info returns the cached successor/predicate data of a state.

@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: vet, build, and the full test suite under the race detector.
+# The parallel experiment engine (worker pools in internal/sim and
+# internal/experiments) makes the race run the load-bearing check here —
+# plain `go test` would not exercise the cross-goroutine interactions.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
