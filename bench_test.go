@@ -150,6 +150,29 @@ func BenchmarkLTSGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerate measures allocation behaviour of explicit state-space
+// generation on the full-size Markovian streaming model: the interned
+// state-space representation is judged by B/op and allocs/op here
+// (results/BENCH_statespace.json records the before/after numbers).
+func BenchmarkGenerate(b *testing.B) {
+	p := models.DefaultStreamingParams()
+	a, err := models.BuildStreaming(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lts.Generate(m, lts.GenerateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWeakBisim measures the weak-bisimulation check behind the
 // streaming noninterference analysis (tau-SCC condensation + signature
 // refinement).

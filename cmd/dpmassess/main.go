@@ -253,7 +253,7 @@ func runLTS(args []string) error {
 	}
 	fmt.Printf("states:      %d\n", l.NumStates)
 	fmt.Printf("transitions: %d\n", l.NumTransitions())
-	fmt.Printf("labels:      %d\n", len(l.Labels))
+	fmt.Printf("labels:      %d\n", l.NumLabels())
 	if dl := l.Deadlocks(); len(dl) > 0 {
 		fmt.Printf("deadlocks:   %d\n", len(dl))
 	}

@@ -10,6 +10,11 @@
 // weakly reach, with the previous block included in the signature so that
 // each round refines the last. The refinement history supports
 // Cleaveland-style construction of a minimal-depth distinguishing formula.
+//
+// The saturated successor structure is stored in grouped CSR form — per
+// node, label-sorted groups of deduplicated successor sets over one shared
+// destination arena — and indexes the pipeline's interned labels directly,
+// so refinement rounds run without per-state maps.
 package bisim
 
 import (
@@ -19,6 +24,8 @@ import (
 
 	"repro/internal/hml"
 	"repro/internal/lts"
+	"repro/internal/rates"
+	"repro/internal/statespace"
 )
 
 // Relation selects the equivalence to check.
@@ -45,9 +52,9 @@ func (r Relation) String() string {
 }
 
 // sat is the (possibly saturated) successor structure the refinement
-// operates on: for each state, a map from label index to the sorted set of
-// successor states. Label indices refer to the labels table. For Weak, the
-// tau entry holds the reflexive-transitive closure.
+// operates on: for each node, label-sorted groups of sorted, deduplicated
+// successor sets. Label indices refer to the shared symbol table. For
+// Weak, the tau group holds the reflexive-transitive closure.
 //
 // For the weak relation the structure is built over the *condensation* of
 // the tau graph: mutually tau-reachable states are weakly bisimilar, so
@@ -55,49 +62,118 @@ func (r Relation) String() string {
 // maps original LTS states to sat nodes (the identity for Strong).
 type sat struct {
 	n        int
-	labels   []string
-	succ     []map[int32][]int32
+	syms     *statespace.Symbols
 	stateMap []int
+
+	// Grouped CSR: node st owns groups grpStart[st]..grpStart[st+1]; group
+	// g carries label grpLabel[g] (ascending within a node) and successor
+	// set dsts[dstOff[g]:dstOff[g+1]] (sorted, deduplicated).
+	grpStart []int32
+	grpLabel []int32
+	dstOff   []int32
+	dsts     []int32
+}
+
+// groups returns the group index range of node st.
+func (s *sat) groups(st int) (lo, hi int32) { return s.grpStart[st], s.grpStart[st+1] }
+
+// groupDsts returns the successor set of group g.
+func (s *sat) groupDsts(g int32) []int32 { return s.dsts[s.dstOff[g]:s.dstOff[g+1]] }
+
+// find returns the successor set of (st, label), or nil.
+func (s *sat) find(st int, label int32) []int32 {
+	lo, hi := s.grpStart[st], s.grpStart[st+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.grpLabel[mid] < label {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.grpStart[st+1] && s.grpLabel[lo] == label {
+		return s.groupDsts(lo)
+	}
+	return nil
+}
+
+// satBuilder accumulates the grouped CSR arrays of a sat.
+type satBuilder struct {
+	s *sat
+}
+
+func newSatBuilder(n int, syms *statespace.Symbols) *satBuilder {
+	return &satBuilder{s: &sat{
+		n:        n,
+		syms:     syms,
+		grpStart: make([]int32, 1, n+1),
+		dstOff:   make([]int32, 1, n+1),
+	}}
+}
+
+// group appends one (label, dsts) group to the node currently being built;
+// dsts must already be sorted and deduplicated.
+func (b *satBuilder) group(label int32, dsts []int32) {
+	b.s.grpLabel = append(b.s.grpLabel, label)
+	b.s.dsts = append(b.s.dsts, dsts...)
+	b.s.dstOff = append(b.s.dstOff, int32(len(b.s.dsts)))
+}
+
+// endNode closes the current node's group list.
+func (b *satBuilder) endNode() {
+	b.s.grpStart = append(b.s.grpStart, int32(len(b.s.grpLabel)))
+}
+
+// pair is a (label, dst) scratch entry used while grouping a node's edges.
+type pair struct{ label, dst int32 }
+
+func sortPairs(ps []pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].label != ps[j].label {
+			return ps[i].label < ps[j].label
+		}
+		return ps[i].dst < ps[j].dst
+	})
 }
 
 // tauSCCs computes the strongly connected components of the tau-only
 // graph (iterative Tarjan) and returns the component id of every state
 // plus the number of components. Component ids are assigned in reverse
 // topological order of the condensation (sources last).
-func tauSCCs(l *lts.LTS) (comp []int, numComp int) {
+func tauSCCs(l *lts.LTS) (comp []int32, numComp int) {
 	n := l.NumStates
-	index := make([]int, n)
-	low := make([]int, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
 	onStack := make([]bool, n)
-	comp = make([]int, n)
+	comp = make([]int32, n)
 	for i := range index {
 		index[i] = -1
 		comp[i] = -1
 	}
-	var stack []int
-	counter := 0
-	type frame struct{ v, ei int }
+	var stack []int32
+	counter := int32(0)
+	type frame struct{ v, ei int32 }
 	for start := 0; start < n; start++ {
 		if index[start] >= 0 {
 			continue
 		}
-		frames := []frame{{v: start}}
+		frames := []frame{{v: int32(start)}}
 		index[start] = counter
 		low[start] = counter
 		counter++
-		stack = append(stack, start)
+		stack = append(stack, int32(start))
 		onStack[start] = true
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
-			out := l.Out(f.v)
+			out := l.Out(int(f.v))
 			advanced := false
-			for f.ei < len(out) {
-				t := out[f.ei]
+			for int(f.ei) < out.Len() {
+				k := f.ei
 				f.ei++
-				if t.Label != lts.TauIndex {
+				if out.Label[k] != lts.TauIndex {
 					continue
 				}
-				w := t.Dst
+				w := out.Dst[k]
 				if index[w] < 0 {
 					index[w] = counter
 					low[w] = counter
@@ -128,7 +204,7 @@ func tauSCCs(l *lts.LTS) (comp []int, numComp int) {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[w] = false
-					comp[w] = numComp
+					comp[w] = int32(numComp)
 					if w == v {
 						break
 					}
@@ -140,151 +216,179 @@ func tauSCCs(l *lts.LTS) (comp []int, numComp int) {
 	return comp, numComp
 }
 
-// sortDedup sorts a successor set in place and removes duplicates.
-func sortDedup(dsts []int32) []int32 {
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
-	out := dsts[:0]
-	last := int32(-1)
-	for _, d := range dsts {
-		if d != last {
-			out = append(out, d)
-			last = d
-		}
-	}
-	return out
-}
-
 // saturate builds the successor structure for the chosen relation.
 func saturate(l *lts.LTS, rel Relation) *sat {
 	if rel == Strong {
 		n := l.NumStates
-		s := &sat{n: n, labels: append([]string(nil), l.Labels...)}
-		s.succ = make([]map[int32][]int32, n)
-		s.stateMap = make([]int, n)
-		for i := range s.succ {
-			s.succ[i] = make(map[int32][]int32)
-			s.stateMap[i] = i
-		}
-		for _, t := range l.Transitions {
-			s.succ[t.Src][int32(t.Label)] = append(s.succ[t.Src][int32(t.Label)], int32(t.Dst))
-		}
+		b := newSatBuilder(n, l.Symbols())
+		b.s.stateMap = make([]int, n)
+		var buf []pair
 		for st := 0; st < n; st++ {
-			for label, dsts := range s.succ[st] {
-				s.succ[st][label] = sortDedup(dsts)
+			b.s.stateMap[st] = st
+			sp := l.Out(st)
+			buf = buf[:0]
+			for k := 0; k < sp.Len(); k++ {
+				buf = append(buf, pair{label: sp.Label[k], dst: sp.Dst[k]})
 			}
+			sortPairs(buf)
+			emitGroups(b, buf)
+			b.endNode()
 		}
-		return s
+		return b.s
 	}
 
 	// Weak: collapse tau-SCCs first — mutually tau-reachable states are
 	// weakly bisimilar, and condensation makes the tau graph acyclic,
 	// which keeps the saturated structure tractable.
 	comp, nc := tauSCCs(l)
-	// Condensed edges.
-	type key struct {
-		src   int32
-		label int32
-	}
-	edges := make(map[key]map[int32]bool, nc*2)
-	add := func(src, label, dst int32) {
-		k := key{src: src, label: label}
-		m := edges[k]
-		if m == nil {
-			m = make(map[int32]bool, 2)
-			edges[k] = m
-		}
-		m[dst] = true
-	}
-	for _, t := range l.Transitions {
-		cs, cd := int32(comp[t.Src]), int32(comp[t.Dst])
-		if t.Label == lts.TauIndex {
-			if cs != cd {
-				add(cs, lts.TauIndex, cd)
+
+	// Condensed edge list, sorted and deduplicated.
+	type cedge struct{ src, label, dst int32 }
+	var edges []cedge
+	for st := 0; st < l.NumStates; st++ {
+		sp := l.Out(st)
+		cs := comp[st]
+		for k := 0; k < sp.Len(); k++ {
+			cd := comp[sp.Dst[k]]
+			if sp.Label[k] == lts.TauIndex && cs == cd {
+				continue
 			}
-			continue
+			edges = append(edges, cedge{src: cs, label: sp.Label[k], dst: cd})
 		}
-		add(cs, int32(t.Label), cd)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		return a.dst < b.dst
+	})
+	edges = dedupEdges(edges)
+	// Row index over the condensed edges.
+	rowOff := make([]int32, nc+1)
+	for _, e := range edges {
+		rowOff[e.src+1]++
+	}
+	for c := 1; c <= nc; c++ {
+		rowOff[c] += rowOff[c-1]
 	}
 
-	// Reflexive-transitive tau closure over the condensation. Tarjan
-	// assigns component ids in reverse topological order, so successors
-	// of c always have ids < c: a single ascending sweep suffices.
-	tauAdj := make([][]int32, nc)
-	for k, dsts := range edges {
-		if k.label != lts.TauIndex {
-			continue
-		}
-		for d := range dsts {
-			tauAdj[k.src] = append(tauAdj[k.src], d)
-		}
-	}
-	closure := make([][]int32, nc)
-	mark := make([]int, nc)
+	// Reflexive-transitive tau closure over the condensation, stored in a
+	// single slab. Tarjan assigns component ids in reverse topological
+	// order, so successors of c always have ids < c: a single ascending
+	// sweep suffices, and the slab only ever references finished entries.
+	cloOff := make([]int32, nc+1)
+	clo := make([]int32, 0, nc)
+	mark := make([]int32, nc)
 	for i := range mark {
 		mark[i] = -1
 	}
-	for c := 0; c < nc; c++ {
-		set := []int32{int32(c)}
+	for c := int32(0); c < int32(nc); c++ {
+		start := len(clo)
+		clo = append(clo, c)
 		mark[c] = c
-		for _, d := range tauAdj[c] {
-			for _, x := range closure[d] {
+		for i := rowOff[c]; i < rowOff[c+1]; i++ {
+			e := edges[i]
+			if e.label != lts.TauIndex {
+				continue
+			}
+			for _, x := range clo[cloOff[e.dst]:cloOff[e.dst+1]] {
 				if mark[x] != c {
 					mark[x] = c
-					set = append(set, x)
+					clo = append(clo, x)
 				}
 			}
 		}
-		closure[c] = sortDedup(set)
+		seg := clo[start:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		cloOff[c+1] = int32(len(clo))
+	}
+	closure := func(c int32) []int32 { return clo[cloOff[c]:cloOff[c+1]] }
+
+	b := newSatBuilder(nc, l.Symbols())
+	b.s.stateMap = make([]int, l.NumStates)
+	for st := range b.s.stateMap {
+		b.s.stateMap[st] = int(comp[st])
 	}
 
-	s := &sat{n: nc, labels: append([]string(nil), l.Labels...)}
-	s.succ = make([]map[int32][]int32, nc)
-	for i := range s.succ {
-		s.succ[i] = make(map[int32][]int32)
+	// Saturation sweep: succ(c, a) = ∪ closure(d) over visible condensed
+	// edges (u, a, d) with u in closure(c); the tau group of c is its
+	// closure. Group sets are deduplicated with generation stamps.
+	gen := int32(-1)
+	stamp := make([]int32, nc)
+	for i := range stamp {
+		stamp[i] = -1
 	}
-	s.stateMap = make([]int, l.NumStates)
-	for st := range s.stateMap {
-		s.stateMap[st] = comp[st]
-	}
-	// Group visible condensed edges by source for the saturation sweep.
-	visOut := make([]map[int32][]int32, nc)
-	for k, dsts := range edges {
-		if k.label == lts.TauIndex {
-			continue
-		}
-		if visOut[k.src] == nil {
-			visOut[k.src] = make(map[int32][]int32, 2)
-		}
-		for d := range dsts {
-			visOut[k.src][k.label] = append(visOut[k.src][k.label], d)
-		}
-	}
-	for c := 0; c < nc; c++ {
-		s.succ[c][lts.TauIndex] = closure[c]
-		acc := make(map[int32]map[int32]bool, 2)
-		for _, u := range closure[c] {
-			for label, dsts := range visOut[u] {
-				m := acc[label]
-				if m == nil {
-					m = make(map[int32]bool, 4)
-					acc[label] = m
+	var buf []pair
+	var setBuf []int32
+	for c := int32(0); c < int32(nc); c++ {
+		b.group(lts.TauIndex, closure(c))
+		buf = buf[:0]
+		for _, u := range closure(c) {
+			for i := rowOff[u]; i < rowOff[u+1]; i++ {
+				e := edges[i]
+				if e.label == lts.TauIndex {
+					continue
 				}
-				for _, d := range dsts {
-					for _, v := range closure[d] {
-						m[v] = true
+				buf = append(buf, pair{label: e.label, dst: e.dst})
+			}
+		}
+		sortPairs(buf)
+		for i := 0; i < len(buf); {
+			j := i
+			gen++
+			setBuf = setBuf[:0]
+			for j < len(buf) && buf[j].label == buf[i].label {
+				for _, v := range closure(buf[j].dst) {
+					if stamp[v] != gen {
+						stamp[v] = gen
+						setBuf = append(setBuf, v)
 					}
 				}
+				j++
 			}
+			sort.Slice(setBuf, func(x, y int) bool { return setBuf[x] < setBuf[y] })
+			b.group(buf[i].label, setBuf)
+			i = j
 		}
-		for label, set := range acc {
-			out := make([]int32, 0, len(set))
-			for v := range set {
-				out = append(out, v)
+		b.endNode()
+	}
+	return b.s
+}
+
+// emitGroups converts a sorted (label, dst) pair list into deduplicated
+// groups on the builder.
+func emitGroups(b *satBuilder, buf []pair) {
+	for i := 0; i < len(buf); {
+		j := i
+		last := int32(-1)
+		for j < len(buf) && buf[j].label == buf[i].label {
+			if buf[j].dst != last {
+				b.s.dsts = append(b.s.dsts, buf[j].dst)
+				last = buf[j].dst
 			}
-			s.succ[c][label] = sortDedup(out)
+			j++
+		}
+		b.s.grpLabel = append(b.s.grpLabel, buf[i].label)
+		b.s.dstOff = append(b.s.dstOff, int32(len(b.s.dsts)))
+		i = j
+	}
+}
+
+// dedupEdges removes duplicates from a sorted condensed edge list.
+func dedupEdges[E comparable](edges []E) []E {
+	out := edges[:0]
+	var last E
+	for i, e := range edges {
+		if i == 0 || e != last {
+			out = append(out, e)
+			last = e
 		}
 	}
-	return s
+	return out
 }
 
 // refineResult carries the partition and its refinement history.
@@ -298,28 +402,17 @@ type refineResult struct {
 // blocks returns the final partition.
 func (r *refineResult) blocks() []int { return r.history[len(r.history)-1] }
 
-// refine runs signature refinement to a fixed point. The per-state label
-// lists, the block-dedup stamps, and the two partition buffers are
-// allocated once and reused across rounds: only the signature strings and
-// the history snapshots survive a round.
+// refine runs signature refinement to a fixed point. The grouped CSR
+// structure is label-sorted per node, so a round is a single sweep over
+// the groups; the block-dedup stamps and the two partition buffers are
+// allocated once and reused across rounds — only the signature strings
+// and the history snapshots survive a round.
 func refine(s *sat) *refineResult {
 	n := s.n
 	cur := make([]int, n) // all states in block 0
 	next := make([]int, n)
 	res := &refineResult{s: s}
 	res.history = append(res.history, append([]int(nil), cur...))
-
-	// Per-state sorted label lists, computed once: the successor structure
-	// never changes between rounds, only the partition does.
-	stateLabels := make([][]int32, n)
-	for st := 0; st < n; st++ {
-		labels := make([]int32, 0, len(s.succ[st]))
-		for label := range s.succ[st] {
-			labels = append(labels, label)
-		}
-		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-		stateLabels[st] = labels
-	}
 
 	// mark stamps the blocks already collected for the current
 	// (state, label) pair — a generation counter instead of a per-pair
@@ -337,10 +430,11 @@ func refine(s *sat) *refineResult {
 			sb.Reset()
 			// Previous block first, so each round refines the last.
 			sb.WriteString(strconv.Itoa(cur[st]))
-			for _, label := range stateLabels[st] {
+			glo, ghi := s.groups(st)
+			for g := glo; g < ghi; g++ {
 				gen++
 				blockBuf = blockBuf[:0]
-				for _, d := range s.succ[st][label] {
+				for _, d := range s.groupDsts(g) {
 					b := cur[d]
 					if mark[b] != gen {
 						mark[b] = gen
@@ -349,7 +443,7 @@ func refine(s *sat) *refineResult {
 				}
 				sort.Ints(blockBuf)
 				sb.WriteByte('|')
-				sb.WriteString(strconv.Itoa(int(label)))
+				sb.WriteString(strconv.Itoa(int(s.grpLabel[g])))
 				sb.WriteByte(':')
 				for _, b := range blockBuf {
 					sb.WriteString(strconv.Itoa(b))
@@ -404,24 +498,27 @@ func Equivalent(l1, l2 *lts.LTS, rel Relation) (bool, hml.Formula) {
 	return false, f
 }
 
-// union builds the disjoint union of two LTSs with a shared label table.
+// union builds the disjoint union of two LTSs. Systems from the same
+// pipeline share a symbol table, in which case label indices are copied
+// verbatim; otherwise labels are matched by name into a fresh table.
 func union(l1, l2 *lts.LTS) (u *lts.LTS, init1, init2 int) {
-	u = lts.New(l1.NumStates + l2.NumStates)
+	shared := l1.Symbols() == l2.Symbols()
+	if shared {
+		u = lts.NewShared(l1.NumStates+l2.NumStates, l1.Symbols())
+	} else {
+		u = lts.New(l1.NumStates + l2.NumStates)
+	}
 	u.Initial = l1.Initial
-	for _, t := range l1.Transitions {
-		li := lts.TauIndex
-		if t.Label != lts.TauIndex {
-			li = u.LabelIndex(l1.Labels[t.Label])
-		}
-		u.AddTransition(t.Src, t.Dst, li, t.Rate)
+	copyInto := func(l *lts.LTS, off int) {
+		l.Edges(func(src, dst, label int, r rates.Rate) {
+			li := label
+			if !shared && label != lts.TauIndex {
+				li = u.LabelIndex(l.LabelName(label))
+			}
+			u.AddTransition(src+off, dst+off, li, r)
+		})
 	}
-	off := l1.NumStates
-	for _, t := range l2.Transitions {
-		li := lts.TauIndex
-		if t.Label != lts.TauIndex {
-			li = u.LabelIndex(l2.Labels[t.Label])
-		}
-		u.AddTransition(t.Src+off, t.Dst+off, li, t.Rate)
-	}
-	return u, l1.Initial, l2.Initial + off
+	copyInto(l1, 0)
+	copyInto(l2, l1.NumStates)
+	return u, l1.Initial, l2.Initial + l1.NumStates
 }

@@ -36,8 +36,11 @@ type sigPair struct {
 // sig computes the signature of state st under the partition blocks.
 func (g *formulaGen) sig(st int, blocks []int) map[sigPair]bool {
 	out := make(map[sigPair]bool)
-	for label, dsts := range g.res.s.succ[st] {
-		for _, d := range dsts {
+	s := g.res.s
+	glo, ghi := s.groups(st)
+	for grp := glo; grp < ghi; grp++ {
+		label := s.grpLabel[grp]
+		for _, d := range s.groupDsts(grp) {
 			out[sigPair{label: label, block: blocks[d]}] = true
 		}
 	}
@@ -46,7 +49,7 @@ func (g *formulaGen) sig(st int, blocks []int) map[sigPair]bool {
 
 // modality wraps a subformula in the diamond appropriate for the relation.
 func (g *formulaGen) modality(label int32, f hml.Formula) hml.Formula {
-	name := g.res.s.labels[label]
+	name := g.res.s.syms.Name(int(label))
 	if g.rel == Weak {
 		return hml.DiamondWeak{Label: name, F: f}
 	}
@@ -100,9 +103,10 @@ func pickMissing(a, b map[sigPair]bool) (sigPair, bool) {
 // positive builds a formula of the shape <a>( /\ dist(s', t') ) where s
 // has an a-move into block p.block under prev and t has none.
 func (g *formulaGen) positive(s, t int, p sigPair, prev []int) hml.Formula {
-	// Choose the smallest witness successor for determinism.
+	// Choose the smallest witness successor for determinism (successor
+	// sets are stored sorted).
 	sPrime := -1
-	for _, d := range g.res.s.succ[s][p.label] {
+	for _, d := range g.res.s.find(s, p.label) {
 		if prev[d] == p.block {
 			sPrime = int(d)
 			break
@@ -111,7 +115,7 @@ func (g *formulaGen) positive(s, t int, p sigPair, prev []int) hml.Formula {
 	if sPrime < 0 {
 		return hml.True{}
 	}
-	tSucc := g.res.s.succ[t][p.label]
+	tSucc := g.res.s.find(t, p.label)
 	if len(tSucc) == 0 {
 		return g.modality(p.label, hml.True{})
 	}

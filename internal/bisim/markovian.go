@@ -44,18 +44,20 @@ func MarkovianPartition(l *lts.LTS) []int {
 			sb.Reset()
 			sb.WriteString(strconv.Itoa(cur[s]))
 			acc := make(map[markovKey]float64, 4)
-			for _, t := range l.Out(s) {
-				key := markovKey{label: int32(t.Label), block: cur[t.Dst]}
-				switch t.Rate.Kind {
+			sp := l.Out(s)
+			for k := 0; k < sp.Len(); k++ {
+				key := markovKey{label: sp.Label[k], block: cur[sp.Dst[k]]}
+				r := sp.Rate[k]
+				switch r.Kind {
 				case rates.Exp:
 					key.prio = -1
-					acc[key] += t.Rate.Lambda
+					acc[key] += r.Lambda
 				case rates.Immediate:
-					key.prio = t.Rate.Priority
-					acc[key] += t.Rate.Weight
+					key.prio = r.Priority
+					acc[key] += r.Weight
 				case rates.Passive:
 					key.prio = -2
-					acc[key] += t.Rate.Weight
+					acc[key] += r.Weight
 				default: // Untimed
 					key.prio = -3
 					acc[key]++
@@ -118,7 +120,9 @@ func Lump(l *lts.LTS) *lts.LTS {
 			numBlocks = b + 1
 		}
 	}
-	out := lts.New(numBlocks)
+	// The quotient shares the pipeline symbol table, so label indices are
+	// copied verbatim — no per-edge name lookups.
+	out := lts.NewShared(numBlocks, l.Symbols())
 	out.Initial = blocks[l.Initial]
 
 	// Representative member per block.
@@ -137,42 +141,54 @@ func Lump(l *lts.LTS) *lts.LTS {
 		dst   int
 		prio  int
 	}
+	emitSorted := func(b int, acc map[edge]float64, mk func(e edge, v float64) rates.Rate) {
+		keys := make([]edge, 0, len(acc))
+		for e := range acc {
+			keys = append(keys, e)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, c := keys[i], keys[j]
+			if a.label != c.label {
+				return a.label < c.label
+			}
+			if a.dst != c.dst {
+				return a.dst < c.dst
+			}
+			return a.prio < c.prio
+		})
+		for _, e := range keys {
+			out.AddTransition(b, e.dst, e.label, mk(e, acc[e]))
+		}
+	}
 	for b := 0; b < numBlocks; b++ {
 		s := rep[b]
 		expAcc := make(map[edge]float64, 4)
 		immAcc := make(map[edge]float64, 4)
 		pasAcc := make(map[edge]float64, 4)
-		untAcc := make(map[edge]bool, 4)
-		for _, t := range l.Out(s) {
-			li := lts.TauIndex
-			if t.Label != lts.TauIndex {
-				li = out.LabelIndex(l.Labels[t.Label])
-			}
-			e := edge{label: li, dst: blocks[t.Dst]}
-			switch t.Rate.Kind {
+		untAcc := make(map[edge]float64, 4)
+		sp := l.Out(s)
+		for k := 0; k < sp.Len(); k++ {
+			e := edge{label: int(sp.Label[k]), dst: blocks[sp.Dst[k]]}
+			r := sp.Rate[k]
+			switch r.Kind {
 			case rates.Exp:
-				expAcc[e] += t.Rate.Lambda
+				expAcc[e] += r.Lambda
 			case rates.Immediate:
-				e.prio = t.Rate.Priority
-				immAcc[e] += t.Rate.Weight
+				e.prio = r.Priority
+				immAcc[e] += r.Weight
 			case rates.Passive:
-				pasAcc[e] += t.Rate.Weight
+				pasAcc[e] += r.Weight
 			default:
-				untAcc[e] = true
+				untAcc[e] = 1
 			}
 		}
-		for e, lam := range expAcc {
-			out.AddTransition(b, e.dst, e.label, rates.ExpRate(lam))
-		}
-		for e, w := range immAcc {
-			out.AddTransition(b, e.dst, e.label, rates.Inf(e.prio, w))
-		}
-		for e, w := range pasAcc {
-			out.AddTransition(b, e.dst, e.label, rates.PassiveWeight(w))
-		}
-		for e := range untAcc {
-			out.AddTransition(b, e.dst, e.label, rates.UntimedRate())
-		}
+		// Emit each accumulator in sorted key order so tied (src, label,
+		// dst) triples keep a canonical insertion order under the stable
+		// CSR sort — map iteration order must never reach the LTS.
+		emitSorted(b, expAcc, func(e edge, v float64) rates.Rate { return rates.ExpRate(v) })
+		emitSorted(b, immAcc, func(e edge, v float64) rates.Rate { return rates.Inf(e.prio, v) })
+		emitSorted(b, pasAcc, func(e edge, v float64) rates.Rate { return rates.PassiveWeight(v) })
+		emitSorted(b, untAcc, func(e edge, v float64) rates.Rate { return rates.UntimedRate() })
 	}
 
 	// Carry predicates and descriptions over from representatives.
@@ -187,11 +203,8 @@ func Lump(l *lts.LTS) *lts.LTS {
 			out.Preds[p] = col
 		}
 	}
-	if l.StateDescs != nil {
-		out.StateDescs = make([]string, numBlocks)
-		for b := 0; b < numBlocks; b++ {
-			out.StateDescs[b] = l.StateDescs[rep[b]]
-		}
+	if l.HasStateDescs() {
+		out.SetStateDescFunc(func(b int) string { return l.StateDesc(rep[b]) })
 	}
 	return out
 }

@@ -236,15 +236,11 @@ func TestPropertyLumpExact(t *testing.T) {
 func TestPropertyLumpRefinesStrong(t *testing.T) {
 	r := rand.New(rand.NewSource(23))
 	erase := func(l *lts.LTS) *lts.LTS {
-		out := lts.New(l.NumStates)
+		out := lts.NewShared(l.NumStates, l.Symbols())
 		out.Initial = l.Initial
-		for _, tr := range l.Transitions {
-			li := lts.TauIndex
-			if tr.Label != lts.TauIndex {
-				li = out.LabelIndex(l.Labels[tr.Label])
-			}
-			out.AddTransition(tr.Src, tr.Dst, li, rates.UntimedRate())
-		}
+		l.Edges(func(src, dst, label int, _ rates.Rate) {
+			out.AddTransition(src, dst, label, rates.UntimedRate())
+		})
 		return out
 	}
 	for trial := 0; trial < 20; trial++ {

@@ -2,6 +2,7 @@ package bisim
 
 import (
 	"repro/internal/lts"
+	"repro/internal/rates"
 )
 
 // Minimize returns the quotient of the LTS by its bisimulation partition:
@@ -16,27 +17,25 @@ func Minimize(l *lts.LTS, rel Relation) *lts.LTS {
 			numBlocks = b + 1
 		}
 	}
-	out := lts.New(numBlocks)
+	// The quotient shares the pipeline symbol table: label indices copy
+	// over verbatim.
+	out := lts.NewShared(numBlocks, l.Symbols())
 	out.Initial = blocks[l.Initial]
 	type edge struct {
 		src, dst, label int
 	}
 	seen := make(map[edge]bool)
-	for _, t := range l.Transitions {
-		li := lts.TauIndex
-		if t.Label != lts.TauIndex {
-			li = out.LabelIndex(l.Labels[t.Label])
-		}
-		e := edge{src: blocks[t.Src], dst: blocks[t.Dst], label: li}
-		if rel == Weak && li == lts.TauIndex && e.src == e.dst {
+	l.Edges(func(src, dst, label int, r rates.Rate) {
+		e := edge{src: blocks[src], dst: blocks[dst], label: label}
+		if rel == Weak && label == lts.TauIndex && e.src == e.dst {
 			// Tau self-loops are redundant up to weak bisimulation.
-			continue
+			return
 		}
 		if seen[e] {
-			continue
+			return
 		}
 		seen[e] = true
-		out.AddTransition(e.src, e.dst, li, t.Rate)
-	}
+		out.AddTransition(e.src, e.dst, label, r)
+	})
 	return out
 }

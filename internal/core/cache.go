@@ -15,6 +15,13 @@ import (
 // cache itself is safe for concurrent use and builds every key exactly
 // once, with duplicate suppression when several sweep workers ask for the
 // same key simultaneously.
+//
+// Sharing one model across sweeps composes with the interned state-space
+// representation (internal/statespace): generation explores a shared
+// model by BFS and assigns state identifiers in first-intern order, so
+// every sweep that generates from the same cached model observes the
+// same identifier for the same global state — a property the golden
+// bit-identity tests rely on at any worker count.
 type BuildCache[K comparable] struct {
 	mu      sync.Mutex
 	entries map[K]*cacheEntry

@@ -89,8 +89,9 @@ func Build(l *lts.LTS) (*CTMC, error) {
 	// Classify states.
 	isVanishing := make([]bool, n)
 	for s := 0; s < n; s++ {
-		for _, t := range l.Out(s) {
-			if t.Rate.Kind == rates.Immediate {
+		sp := l.Out(s)
+		for k := 0; k < sp.Len(); k++ {
+			if sp.Rate[k].Kind == rates.Immediate {
 				isVanishing[s] = true
 				break
 			}
@@ -109,20 +110,20 @@ func Build(l *lts.LTS) (*CTMC, error) {
 			continue
 		}
 		numVanishing++
+		sp := l.Out(s)
 		maxPrio := math.MinInt32
-		for _, t := range l.Out(s) {
-			if t.Rate.Kind == rates.Immediate && t.Rate.Priority > maxPrio {
-				maxPrio = t.Rate.Priority
+		for k := 0; k < sp.Len(); k++ {
+			if r := sp.Rate[k]; r.Kind == rates.Immediate && r.Priority > maxPrio {
+				maxPrio = r.Priority
 			}
 		}
 		var brs []branch
 		total := 0.0
-		out := l.Out(s)
-		base := transBase(l, s)
-		for i, t := range out {
-			if t.Rate.Kind == rates.Immediate && t.Rate.Priority == maxPrio {
-				brs = append(brs, branch{dst: t.Dst, prob: t.Rate.Weight, ltsTrans: base + i})
-				total += t.Rate.Weight
+		base := l.EdgeBase(s)
+		for k := 0; k < sp.Len(); k++ {
+			if r := sp.Rate[k]; r.Kind == rates.Immediate && r.Priority == maxPrio {
+				brs = append(brs, branch{dst: int(sp.Dst[k]), prob: r.Weight, ltsTrans: base + k})
+				total += r.Weight
 			}
 		}
 		for i := range brs {
@@ -208,26 +209,28 @@ func Build(l *lts.LTS) (*CTMC, error) {
 	c.Exit = make([]float64, c.N)
 	for ci, s := range c.TangibleOf {
 		acc := make(map[int]float64, 4)
-		out := l.Out(s)
-		base := transBase(l, s)
-		for i, t := range out {
-			switch t.Rate.Kind {
+		sp := l.Out(s)
+		base := l.EdgeBase(s)
+		for k := 0; k < sp.Len(); k++ {
+			r := sp.Rate[k]
+			dst := int(sp.Dst[k])
+			switch r.Kind {
 			case rates.Exp:
 				c.expEdges = append(c.expEdges, expEdge{
-					src: s, dst: t.Dst, rate: t.Rate.Lambda, ltsTrans: base + i,
+					src: s, dst: dst, rate: r.Lambda, ltsTrans: base + k,
 				})
-				if isVanishing[t.Dst] {
-					for _, ae := range absorb[c.vanPos[t.Dst]] {
-						acc[c.ctmcIndex[ae.tgt]] += t.Rate.Lambda * ae.prob
+				if isVanishing[dst] {
+					for _, ae := range absorb[c.vanPos[dst]] {
+						acc[c.ctmcIndex[ae.tgt]] += r.Lambda * ae.prob
 					}
 				} else {
-					acc[c.ctmcIndex[t.Dst]] += t.Rate.Lambda
+					acc[c.ctmcIndex[dst]] += r.Lambda
 				}
 			case rates.Immediate:
 				// Impossible: s is tangible.
 			default:
 				return nil, fmt.Errorf("%w (state %d, label %q, rate %v)",
-					ErrNotRated, s, l.Labels[t.Label], t.Rate)
+					ErrNotRated, s, l.LabelName(int(sp.Label[k])), r)
 			}
 		}
 		row := make([]Entry, 0, len(acc))
@@ -274,23 +277,6 @@ func sortedAbsorb(dist map[int]float64) []absorbEntry {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].tgt < out[b].tgt })
 	return out
-}
-
-// transBase returns the index of the first transition of state s in the
-// LTS transition slice (transitions are grouped by source).
-func transBase(l *lts.LTS, s int) int {
-	// Transitions are sorted by source state (CSR grouping), so the first
-	// transition of s is found by binary search.
-	lo, hi := 0, len(l.Transitions)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if l.Transitions[mid].Src < s {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }
 
 // LTSStateOf returns the LTS state index of tangible state ci.

@@ -34,7 +34,7 @@ func (c *CTMC) Throughput(pi []float64, match func(label string) bool, weight fu
 		if p == 0 {
 			continue
 		}
-		label := c.l.Labels[c.l.Transitions[e.ltsTrans].Label]
+		label := c.l.LabelName(c.l.EdgeLabel(e.ltsTrans))
 		if match(label) {
 			total += p * e.rate * weight(label)
 		}
@@ -50,7 +50,7 @@ func (c *CTMC) Throughput(pi []float64, match func(label string) bool, weight fu
 		}
 		for _, b := range c.branches[i] {
 			fire := entry[i] * b.prob
-			label := c.l.Labels[c.l.Transitions[b.ltsTrans].Label]
+			label := c.l.LabelName(c.l.EdgeLabel(b.ltsTrans))
 			if match(label) {
 				total += fire * weight(label)
 			}

@@ -86,6 +86,11 @@ type role struct {
 	// partners lists the attached counterparts (one for UNI, possibly
 	// several for AND/OR).
 	partners []partnerRef
+	// partnerLabels holds the precomputed "A.o#B.i" label per partner, and
+	// bcastLabel the full AND-broadcast label; both are fixed by the
+	// topology, so Successors never rebuilds a label string.
+	partnerLabels []string
+	bcastLabel    string
 }
 
 type instance struct {
@@ -93,6 +98,16 @@ type instance struct {
 	et    *aemilia.ElemType
 	roles map[string]role
 	init  LocalConfig
+	// actLabels precomputes the "A.a" label of every internal action.
+	actLabels map[string]string
+}
+
+// internalLabel returns the precomputed "A.a" label of an internal action.
+func (in *instance) internalLabel(action string) string {
+	if l, ok := in.actLabels[action]; ok {
+		return l
+	}
+	return in.name + "." + action
 }
 
 type nodeInfo struct {
@@ -167,7 +182,53 @@ func Elaborate(a *aemilia.ArchiType) (*Model, error) {
 		tr.partners = append(tr.partners, partnerRef{inst: fi, action: at.FromPort})
 		m.insts[ti].roles[at.ToPort] = tr
 	}
+
+	// Precompute every transition label the composition can produce: the
+	// topology is fixed after elaboration, so building them once here keeps
+	// Successors — the hot path of both the state-space generator and the
+	// simulator — free of string concatenation.
+	for i := range m.insts {
+		inst := &m.insts[i]
+		inst.actLabels = make(map[string]string)
+		for _, b := range inst.et.Behaviors {
+			collectActions(b.Body, func(name string) {
+				if _, ok := inst.actLabels[name]; !ok {
+					inst.actLabels[name] = inst.name + "." + name
+				}
+			})
+		}
+		for action, r := range inst.roles {
+			if len(r.partners) == 0 {
+				continue
+			}
+			base := inst.name + "." + action
+			r.partnerLabels = make([]string, len(r.partners))
+			bcast := base
+			for pi, pr := range r.partners {
+				seg := "#" + m.insts[pr.inst].name + "." + pr.action
+				r.partnerLabels[pi] = base + seg
+				bcast += seg
+			}
+			r.bcastLabel = bcast
+			inst.roles[action] = r
+		}
+	}
 	return m, nil
+}
+
+// collectActions visits the action name of every prefix in a process body.
+func collectActions(p aemilia.Process, visit func(string)) {
+	switch x := p.(type) {
+	case *aemilia.Prefix:
+		visit(x.Act.Name)
+		collectActions(x.Cont, visit)
+	case *aemilia.Choice:
+		for _, br := range x.Branches {
+			collectActions(br, visit)
+		}
+	case *aemilia.Guarded:
+		collectActions(x.Body, visit)
+	}
 }
 
 // interactionNames lists the declared interaction names of one direction.
@@ -369,7 +430,7 @@ func (m *Model) Successors(s State) ([]Transition, error) {
 				next := cloneState(s)
 				next[i] = mv.Next
 				out = append(out, Transition{
-					Label:        m.insts[i].name + "." + mv.Act.Name,
+					Label:        m.insts[i].internalLabel(mv.Act.Name),
 					Rate:         mv.Act.Rate,
 					Next:         next,
 					ActiveInst:   i,
@@ -383,7 +444,7 @@ func (m *Model) Successors(s State) ([]Transition, error) {
 				continue
 			case roleAttachedOut:
 				if r.mult == aemilia.And && len(r.partners) > 1 {
-					ts, err := m.broadcast(s, i, mv, r.partners, local)
+					ts, err := m.broadcast(s, i, mv, r, local)
 					if err != nil {
 						return nil, err
 					}
@@ -391,7 +452,7 @@ func (m *Model) Successors(s State) ([]Transition, error) {
 					continue
 				}
 				// UNI and OR: synchronize with one partner at a time.
-				for _, pr := range r.partners {
+				for pi, pr := range r.partners {
 					for _, mv2 := range local[pr.inst] {
 						if mv2.Act.Name != pr.action {
 							continue
@@ -409,8 +470,7 @@ func (m *Model) Successors(s State) ([]Transition, error) {
 							active, activeAction = pr.inst, mv2.Act.Name
 						}
 						out = append(out, Transition{
-							Label: m.insts[i].name + "." + mv.Act.Name + "#" +
-								m.insts[pr.inst].name + "." + mv2.Act.Name,
+							Label:        r.partnerLabels[pi],
 							Rate:         combined,
 							Next:         next,
 							ActiveInst:   active,
@@ -429,7 +489,8 @@ func (m *Model) Successors(s State) ([]Transition, error) {
 // broadcast builds the AND-synchronization transitions of an output move:
 // every attached partner must offer the action; one transition is
 // generated per combination of partner moves (usually one each).
-func (m *Model) broadcast(s State, i int, mv LocalMove, partners []partnerRef, local [][]LocalMove) ([]Transition, error) {
+func (m *Model) broadcast(s State, i int, mv LocalMove, r role, local [][]LocalMove) ([]Transition, error) {
+	partners := r.partners
 	// Collect each partner's candidate moves; all must be non-empty.
 	cands := make([][]LocalMove, len(partners))
 	for pi, pr := range partners {
@@ -447,7 +508,6 @@ func (m *Model) broadcast(s State, i int, mv LocalMove, partners []partnerRef, l
 	for {
 		combined := mv.Act.Rate
 		active, activeAction := i, mv.Act.Name
-		label := m.insts[i].name + "." + mv.Act.Name
 		next := cloneState(s)
 		next[i] = mv.Next
 		var err error
@@ -461,11 +521,10 @@ func (m *Model) broadcast(s State, i int, mv LocalMove, partners []partnerRef, l
 			if mv2.Act.Rate.IsActive() {
 				active, activeAction = pr.inst, mv2.Act.Name
 			}
-			label += "#" + m.insts[pr.inst].name + "." + mv2.Act.Name
 			next[pr.inst] = mv2.Next
 		}
 		out = append(out, Transition{
-			Label:        label,
+			Label:        r.bcastLabel,
 			Rate:         combined,
 			Next:         next,
 			ActiveInst:   active,

@@ -155,10 +155,11 @@ func (c *Checker) closure(s int) []int32 {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, t := range c.l.Out(int(u)) {
-			if t.Label == lts.TauIndex && !seen[int32(t.Dst)] {
-				seen[int32(t.Dst)] = true
-				stack = append(stack, int32(t.Dst))
+		sp := c.l.Out(int(u))
+		for k := 0; k < sp.Len(); k++ {
+			if sp.Label[k] == lts.TauIndex && !seen[sp.Dst[k]] {
+				seen[sp.Dst[k]] = true
+				stack = append(stack, sp.Dst[k])
 			}
 		}
 	}
@@ -190,8 +191,9 @@ func (c *Checker) Sat(s int, f Formula) bool {
 		if !ok {
 			return false
 		}
-		for _, t := range c.l.Out(s) {
-			if t.Label == li && c.Sat(t.Dst, x.F) {
+		sp := c.l.Out(s)
+		for k := 0; k < sp.Len(); k++ {
+			if int(sp.Label[k]) == li && c.Sat(int(sp.Dst[k]), x.F) {
 				return true
 			}
 		}
@@ -210,11 +212,12 @@ func (c *Checker) Sat(s int, f Formula) bool {
 			return false
 		}
 		for _, u := range c.closure(s) {
-			for _, t := range c.l.Out(int(u)) {
-				if t.Label != li {
+			sp := c.l.Out(int(u))
+			for k := 0; k < sp.Len(); k++ {
+				if int(sp.Label[k]) != li {
 					continue
 				}
-				for _, v := range c.closure(t.Dst) {
+				for _, v := range c.closure(int(sp.Dst[k])) {
 					if c.Sat(int(v), x.F) {
 						return true
 					}

@@ -25,13 +25,16 @@ func WriteAUT(w io.Writer, l *LTS) error {
 		l.Initial, l.NumTransitions(), l.NumStates); err != nil {
 		return err
 	}
-	for _, t := range l.Transitions {
-		label := l.Labels[t.Label]
-		if t.Rate.Kind != 0 && t.Rate.String() != "_" {
-			label += " {" + t.Rate.String() + "}"
-		}
-		if _, err := fmt.Fprintf(w, "(%d, %q, %d)\n", t.Src, label, t.Dst); err != nil {
-			return err
+	for s := 0; s < l.NumStates; s++ {
+		sp := l.Out(s)
+		for k := 0; k < sp.Len(); k++ {
+			label := l.LabelName(int(sp.Label[k]))
+			if r := sp.Rate[k]; r.Kind != 0 && r.String() != "_" {
+				label += " {" + r.String() + "}"
+			}
+			if _, err := fmt.Fprintf(w, "(%d, %q, %d)\n", s, label, sp.Dst[k]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -44,6 +47,9 @@ func ReadAUT(r io.Reader) (*LTS, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("lts: empty aut input")
 	}
 	header := strings.TrimSpace(sc.Text())
@@ -51,7 +57,7 @@ func ReadAUT(r io.Reader) (*LTS, error) {
 	if _, err := fmt.Sscanf(header, "des (%d, %d, %d)", &initial, &numTrans, &numStates); err != nil {
 		return nil, fmt.Errorf("lts: bad aut header %q: %w", header, err)
 	}
-	if numStates <= 0 || initial < 0 || initial >= numStates {
+	if numStates <= 0 || numTrans < 0 || initial < 0 || initial >= numStates {
 		return nil, fmt.Errorf("lts: inconsistent aut header %q", header)
 	}
 	l := New(numStates)
@@ -87,32 +93,62 @@ func ReadAUT(r io.Reader) (*LTS, error) {
 }
 
 // parseAUTLine parses one `(src, "label", dst)` or `(src, label, dst)`
-// line.
+// line. Labels may contain commas and escaped quotes when quoted, so a
+// quoted label is scanned by its quote structure rather than by comma
+// position.
 func parseAUTLine(line string) (src int, label string, dst int, err error) {
 	if !strings.HasPrefix(line, "(") || !strings.HasSuffix(line, ")") {
 		return 0, "", 0, fmt.Errorf("malformed transition %q", line)
 	}
 	body := line[1 : len(line)-1]
 	firstComma := strings.Index(body, ",")
-	lastComma := strings.LastIndex(body, ",")
-	if firstComma < 0 || lastComma <= firstComma {
+	if firstComma < 0 {
 		return 0, "", 0, fmt.Errorf("malformed transition %q", line)
 	}
 	src, err = strconv.Atoi(strings.TrimSpace(body[:firstComma]))
 	if err != nil {
 		return 0, "", 0, fmt.Errorf("bad source in %q", line)
 	}
-	dst, err = strconv.Atoi(strings.TrimSpace(body[lastComma+1:]))
-	if err != nil {
-		return 0, "", 0, fmt.Errorf("bad destination in %q", line)
-	}
-	label = strings.TrimSpace(body[firstComma+1 : lastComma])
-	if strings.HasPrefix(label, `"`) {
-		unq, err := strconv.Unquote(label)
-		if err != nil {
+	rest := strings.TrimSpace(body[firstComma+1:])
+	if strings.HasPrefix(rest, `"`) {
+		// Quoted label: find its closing quote, honouring backslash
+		// escapes, so embedded commas and quotes survive.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				i++ // skip the escaped byte
+			case '"':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return 0, "", 0, fmt.Errorf("unterminated label quote in %q", line)
+		}
+		unq, uerr := strconv.Unquote(rest[:end+1])
+		if uerr != nil {
 			return 0, "", 0, fmt.Errorf("bad label in %q", line)
 		}
 		label = unq
+		rest = strings.TrimSpace(rest[end+1:])
+		if !strings.HasPrefix(rest, ",") {
+			return 0, "", 0, fmt.Errorf("malformed transition %q", line)
+		}
+		rest = rest[1:]
+	} else {
+		lastComma := strings.LastIndex(rest, ",")
+		if lastComma < 0 {
+			return 0, "", 0, fmt.Errorf("malformed transition %q", line)
+		}
+		label = strings.TrimSpace(rest[:lastComma])
+		rest = rest[lastComma+1:]
+	}
+	dst, err = strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("bad destination in %q", line)
 	}
 	return src, label, dst, nil
 }

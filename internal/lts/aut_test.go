@@ -53,11 +53,11 @@ func TestReadAUTRoundTrip(t *testing.T) {
 	}
 	// Tau is preserved as tau.
 	tauSeen := false
-	for _, tr := range got.Transitions {
-		if tr.Label == TauIndex {
+	got.Edges(func(src, dst, label int, _ rates.Rate) {
+		if label == TauIndex {
 			tauSeen = true
 		}
-	}
+	})
 	if !tauSeen {
 		t.Error("tau transition lost")
 	}
@@ -73,27 +73,44 @@ func TestReadAUTVariants(t *testing.T) {
 	if l.NumStates != 2 || l.NumTransitions() != 2 {
 		t.Fatalf("shape: %d states %d transitions", l.NumStates, l.NumTransitions())
 	}
-	if l.Transitions[0].Label != TauIndex && l.Transitions[1].Label != TauIndex {
+	tauSeen := false
+	l.Edges(func(src, dst, label int, _ rates.Rate) {
+		if label == TauIndex {
+			tauSeen = true
+		}
+	})
+	if !tauSeen {
 		t.Error("\"i\" should map to tau")
 	}
 }
 
 func TestReadAUTErrors(t *testing.T) {
-	cases := []string{
-		"",
-		"not a header\n",
-		"des (5, 0, 2)\n",                   // initial out of range
-		"des (0, 1, 2)\n(0, \"a\", 9)\n",    // state out of range
-		"des (0, 2, 2)\n(0, \"a\", 1)\n",    // transition count mismatch
-		"des (0, 1, 2)\nnot-a-transition\n", // malformed line
-		"des (0, 1, 2)\n(x, \"a\", 1)\n",    // bad source
-		"des (0, 1, 2)\n(0, \"a\", y)\n",    // bad destination
-		"des (0, 1, 2)\n(0, \"unterm, 1)\n", // bad quoting
-		"des (0, 1, 2)\n(0 \"nocommas\" 1)\n",
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty input", ""},
+		{"bad header", "not a header\n"},
+		{"initial out of range", "des (5, 0, 2)\n"},
+		{"negative initial", "des (-1, 0, 2)\n"},
+		{"negative transition count", "des (0, -1, 2)\n"},
+		{"zero states", "des (0, 0, 0)\n"},
+		{"negative states", "des (0, 0, -3)\n"},
+		{"destination out of range", "des (0, 1, 2)\n(0, \"a\", 9)\n"},
+		{"negative source", "des (0, 1, 2)\n(-1, \"a\", 1)\n"},
+		{"negative destination", "des (0, 1, 2)\n(0, \"a\", -2)\n"},
+		{"transition count mismatch", "des (0, 2, 2)\n(0, \"a\", 1)\n"},
+		{"malformed line", "des (0, 1, 2)\nnot-a-transition\n"},
+		{"bad source", "des (0, 1, 2)\n(x, \"a\", 1)\n"},
+		{"bad destination", "des (0, 1, 2)\n(0, \"a\", y)\n"},
+		{"unterminated quote", "des (0, 1, 2)\n(0, \"unterm, 1)\n"},
+		{"unterminated quote with escape", "des (0, 1, 2)\n(0, \"trail\\\", 1)\n"},
+		{"no comma after quoted label", "des (0, 1, 2)\n(0, \"a\" 1)\n"},
+		{"missing commas", "des (0, 1, 2)\n(0 \"nocommas\" 1)\n"},
 	}
-	for i, src := range cases {
-		if _, err := ReadAUT(strings.NewReader(src)); err == nil {
-			t.Errorf("case %d should fail: %q", i, src)
+	for _, tt := range cases {
+		if _, err := ReadAUT(strings.NewReader(tt.src)); err == nil {
+			t.Errorf("%s: should fail: %q", tt.name, tt.src)
 		}
 	}
 }

@@ -3,11 +3,11 @@ package lts
 import (
 	"fmt"
 	"io"
-	"strings"
 )
 
 // WriteDOT renders the LTS in Graphviz DOT syntax for visual inspection.
-// Rates are appended to edge labels when present.
+// Rates are appended to edge labels when present. All labels are escaped
+// exactly once, by %q.
 func WriteDOT(w io.Writer, l *LTS, name string) error {
 	if name == "" {
 		name = "lts"
@@ -16,10 +16,7 @@ func WriteDOT(w io.Writer, l *LTS, name string) error {
 		return err
 	}
 	for s := 0; s < l.NumStates; s++ {
-		label := fmt.Sprintf("s%d", s)
-		if l.StateDescs != nil {
-			label = l.StateDescs[s]
-		}
+		label := l.StateDesc(s)
 		shape := "circle"
 		if s == l.Initial {
 			shape = "doublecircle"
@@ -28,14 +25,16 @@ func WriteDOT(w io.Writer, l *LTS, name string) error {
 			return err
 		}
 	}
-	for _, t := range l.Transitions {
-		lbl := l.Labels[t.Label]
-		if t.Rate.Kind != 0 && t.Rate.String() != "_" {
-			lbl += ", " + t.Rate.String()
-		}
-		lbl = strings.ReplaceAll(lbl, `"`, `\"`)
-		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%q];\n", t.Src, t.Dst, lbl); err != nil {
-			return err
+	for s := 0; s < l.NumStates; s++ {
+		sp := l.Out(s)
+		for k := 0; k < sp.Len(); k++ {
+			lbl := l.LabelName(int(sp.Label[k]))
+			if r := sp.Rate[k]; r.Kind != 0 && r.String() != "_" {
+				lbl += ", " + r.String()
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%q];\n", s, sp.Dst[k], lbl); err != nil {
+				return err
+			}
 		}
 	}
 	_, err := fmt.Fprintln(w, "}")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/elab"
+	"repro/internal/statespace"
 )
 
 // StatePred names a local-enabledness predicate to evaluate in every
@@ -23,7 +24,9 @@ func (p StatePred) Name() string { return p.Instance + "." + p.Action }
 type GenerateOptions struct {
 	// MaxStates aborts generation when exceeded (0 = default 2_000_000).
 	MaxStates int
-	// KeepDescriptions stores a readable description per state.
+	// KeepDescriptions is kept for compatibility; state descriptions are
+	// now always available lazily (rendered on demand from the interned
+	// state encodings), so generation never pays for them up front.
 	KeepDescriptions bool
 	// Predicates are evaluated in every state and stored in the LTS.
 	Predicates []StatePred
@@ -41,27 +44,26 @@ func (e *TooManyStatesError) Error() string {
 }
 
 // Generate explores the reachable state space of an elaborated model and
-// returns it as an explicit LTS. Exploration is breadth-first, so state
-// indices are stable across runs for a given model.
+// returns it as an explicit LTS. Exploration is breadth-first over states
+// interned in an arena-backed table, so state indices are stable across
+// runs for a given model and re-visiting a known state allocates nothing.
 func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = 2_000_000
 	}
 
-	l := New(0)
-	index := make(map[string]int)
+	in := statespace.NewInterner()
 	var states []elab.State
+	keyBuf := make([]byte, 0, 64)
 
-	intern := func(s elab.State) (int, bool) {
-		k := m.Key(s)
-		if i, ok := index[k]; ok {
-			return i, false
+	intern := func(s elab.State) (uint32, bool) {
+		keyBuf = m.AppendKey(keyBuf[:0], s)
+		id, fresh := in.Intern(keyBuf)
+		if fresh {
+			states = append(states, s)
 		}
-		i := len(states)
-		index[k] = i
-		states = append(states, s)
-		return i, true
+		return id, fresh
 	}
 
 	s0 := m.Initial()
@@ -70,7 +72,10 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		return nil, err
 	}
 	intern(s0)
+
+	l := NewShared(0, statespace.NewSymbols())
 	l.Initial = 0
+	edges := make([]statespace.Edge, 0, 1024)
 
 	for qi := 0; qi < len(states); qi++ {
 		if len(states) > maxStates {
@@ -83,17 +88,28 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		}
 		for _, tr := range ts {
 			dst, _ := intern(tr.Next)
-			l.AddTransition(qi, dst, l.LabelIndex(tr.Label), tr.Rate)
+			edges = append(edges, statespace.Edge{
+				Src:   int32(qi),
+				Dst:   int32(dst),
+				Label: int32(l.syms.Intern(tr.Label)),
+				Rate:  tr.Rate,
+			})
 		}
 	}
 	l.NumStates = len(states)
+	l.setCSR(statespace.Build(l.NumStates, edges))
 
-	if opts.KeepDescriptions {
-		l.StateDescs = make([]string, len(states))
-		for i, s := range states {
-			l.StateDescs[i] = m.Describe(s)
+	// Descriptions are lazy: the interner's byte arena is the state table,
+	// and a description is decoded from it only when actually requested
+	// (diagnostics, DOT output) — bulk sweeps never render one.
+	l.descFn = func(s int) string {
+		st, err := m.DecodeKey(in.Bytes(uint32(s)))
+		if err != nil {
+			return fmt.Sprintf("s%d", s)
 		}
+		return m.Describe(st)
 	}
+
 	if len(opts.Predicates) > 0 {
 		l.PredNames = make([]string, len(opts.Predicates))
 		l.Preds = make([][]bool, len(opts.Predicates))
@@ -110,6 +126,5 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 			l.Preds[p] = col
 		}
 	}
-	l.buildIndex()
 	return l, nil
 }

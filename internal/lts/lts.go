@@ -2,22 +2,30 @@
 // reachability from an elaborated architectural model, hiding (relabelling
 // to tau), restriction (forbidding actions), and utilities used by the
 // equivalence checker and the Markovian analyser.
+//
+// Storage is the compact interned representation of internal/statespace:
+// transitions live in CSR (compressed sparse row) arrays, labels are
+// interned once in a symbol table shared by an LTS and every system
+// derived from it, and state descriptions are computed lazily from the
+// generator's interned state encodings, so analyses never pay for
+// diagnostics they do not print.
 package lts
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/rates"
+	"repro/internal/statespace"
 )
 
 // TauIndex is the label-table index reserved for the invisible action.
-const TauIndex = 0
+const TauIndex = statespace.TauIndex
 
 // TauName is the display name of the invisible action.
-const TauName = "tau"
+const TauName = statespace.TauName
 
-// Transition is one labelled transition between explicit states.
+// Transition is one labelled transition between explicit states, in the
+// form returned by Out's span accessors.
 type Transition struct {
 	// Src and Dst are state indices.
 	Src, Dst int
@@ -27,105 +35,172 @@ type Transition struct {
 	Rate rates.Rate
 }
 
+// Span is a read-only view of one state's outgoing transitions inside the
+// CSR arrays: Dst, Label and Rate are parallel slices. Mutating a span
+// would corrupt shared storage; treat it as immutable.
+type Span struct {
+	// Dst holds the destination state of each transition.
+	Dst []int32
+	// Label holds the symbol-table index of each transition label.
+	Label []int32
+	// Rate holds the timing annotation of each transition.
+	Rate []rates.Rate
+}
+
+// Len returns the number of transitions in the span.
+func (sp Span) Len() int { return len(sp.Dst) }
+
 // LTS is an explicit labelled transition system.
 type LTS struct {
 	// Initial is the initial state index.
 	Initial int
 	// NumStates is the number of states.
 	NumStates int
-	// Labels is the label table; Labels[TauIndex] == TauName.
-	Labels []string
-	// Transitions lists all transitions, grouped by source state.
-	Transitions []Transition
-	// StateDescs optionally carries a readable description per state.
-	StateDescs []string
 	// PredNames names the state predicates evaluated at generation time.
 	PredNames []string
 	// Preds holds predicate truth per state: Preds[p][s].
 	Preds [][]bool
 
-	labelIdx map[string]int
-	outIdx   []int32 // CSR-style index into Transitions, built lazily
+	syms    *statespace.Symbols
+	csr     statespace.CSR
+	pending []statespace.Edge
+	sealed  bool
+	descFn  func(int) string
 }
 
 // New creates an empty LTS with a tau label and n states.
 func New(n int) *LTS {
-	l := &LTS{
-		NumStates: n,
-		Labels:    []string{TauName},
-		labelIdx:  map[string]int{TauName: TauIndex},
-	}
-	return l
+	return &LTS{NumStates: n, syms: statespace.NewSymbols()}
 }
+
+// NewShared creates an empty LTS with n states sharing an existing symbol
+// table — the constructor for systems derived from another LTS, so label
+// indices stay stable across a whole pipeline.
+func NewShared(n int, syms *statespace.Symbols) *LTS {
+	if syms == nil {
+		syms = statespace.NewSymbols()
+	}
+	return &LTS{NumStates: n, syms: syms}
+}
+
+// Symbols returns the label symbol table of the LTS.
+func (l *LTS) Symbols() *statespace.Symbols { return l.syms }
 
 // LabelIndex interns a label name and returns its index.
-func (l *LTS) LabelIndex(name string) int {
-	if l.labelIdx == nil {
-		l.labelIdx = make(map[string]int, len(l.Labels))
-		for i, s := range l.Labels {
-			l.labelIdx[s] = i
-		}
-	}
-	if i, ok := l.labelIdx[name]; ok {
-		return i
-	}
-	l.Labels = append(l.Labels, name)
-	i := len(l.Labels) - 1
-	l.labelIdx[name] = i
-	return i
-}
+func (l *LTS) LabelIndex(name string) int { return l.syms.Intern(name) }
 
 // LookupLabel returns the index of a label name, if present.
-func (l *LTS) LookupLabel(name string) (int, bool) {
-	if l.labelIdx == nil {
-		l.LabelIndex(TauName) // force index build
-	}
-	i, ok := l.labelIdx[name]
-	return i, ok
-}
+func (l *LTS) LookupLabel(name string) (int, bool) { return l.syms.Lookup(name) }
 
-// AddTransition appends a transition. Invalidates the adjacency index.
+// LabelName returns the label at index i.
+func (l *LTS) LabelName(i int) string { return l.syms.Name(i) }
+
+// NumLabels returns the number of interned labels. Labels are shared
+// pipeline-wide, so a derived system may carry labels none of its own
+// transitions use.
+func (l *LTS) NumLabels() int { return l.syms.Len() }
+
+// AddTransition appends a transition. The transition becomes part of the
+// canonical CSR form at the next read.
 func (l *LTS) AddTransition(src, dst, label int, r rates.Rate) {
-	l.Transitions = append(l.Transitions, Transition{Src: src, Dst: dst, Label: label, Rate: r})
-	l.outIdx = nil
+	l.unseal()
+	l.pending = append(l.pending, statespace.Edge{
+		Src: int32(src), Dst: int32(dst), Label: int32(label), Rate: r,
+	})
 }
 
-// sortTransitions orders transitions by (Src, Label, Dst) for deterministic
-// iteration and builds the CSR index.
-func (l *LTS) buildIndex() {
-	if l.outIdx != nil {
+// unseal exports the CSR form back to the pending edge list so more
+// transitions can be added (a rare, construction-time path).
+func (l *LTS) unseal() {
+	if !l.sealed {
 		return
 	}
-	sort.Slice(l.Transitions, func(i, j int) bool {
-		a, b := l.Transitions[i], l.Transitions[j]
-		if a.Src != b.Src {
-			return a.Src < b.Src
+	edges := make([]statespace.Edge, 0, l.csr.NumEdges())
+	for s := 0; s < l.NumStates; s++ {
+		lo, hi := l.csr.Row(s)
+		for i := lo; i < hi; i++ {
+			edges = append(edges, statespace.Edge{
+				Src: int32(s), Dst: l.csr.Dst[i], Label: l.csr.Label[i], Rate: l.csr.Rate[i],
+			})
 		}
-		if a.Label != b.Label {
-			return a.Label < b.Label
-		}
-		return a.Dst < b.Dst
-	})
-	l.outIdx = make([]int32, l.NumStates+1)
-	for _, t := range l.Transitions {
-		l.outIdx[t.Src+1]++
 	}
-	for i := 1; i <= l.NumStates; i++ {
-		l.outIdx[i] += l.outIdx[i-1]
-	}
+	l.pending = edges
+	l.csr = statespace.CSR{}
+	l.sealed = false
 }
 
-// Out returns the transitions leaving state s.
-func (l *LTS) Out(s int) []Transition {
-	l.buildIndex()
-	return l.Transitions[l.outIdx[s]:l.outIdx[s+1]]
+// seal builds the canonical CSR form from the pending edges.
+func (l *LTS) seal() {
+	if l.sealed {
+		return
+	}
+	l.csr = statespace.Build(l.NumStates, l.pending)
+	l.pending = nil
+	l.sealed = true
+}
+
+// setCSR installs an externally built CSR as the canonical storage.
+func (l *LTS) setCSR(c statespace.CSR) {
+	l.csr = c
+	l.pending = nil
+	l.sealed = true
+}
+
+// Out returns the span of transitions leaving state s.
+func (l *LTS) Out(s int) Span {
+	l.seal()
+	lo, hi := l.csr.Row(s)
+	return Span{Dst: l.csr.Dst[lo:hi], Label: l.csr.Label[lo:hi], Rate: l.csr.Rate[lo:hi]}
+}
+
+// EdgeBase returns the global CSR index of the first transition of state
+// s; together with Out it gives every transition of s a stable global
+// index (used by the CTMC extraction to key reward bookkeeping).
+func (l *LTS) EdgeBase(s int) int {
+	l.seal()
+	return int(l.csr.RowStart[s])
+}
+
+// EdgeLabel returns the label index of the transition at global CSR index
+// i.
+func (l *LTS) EdgeLabel(i int) int {
+	l.seal()
+	return int(l.csr.Label[i])
+}
+
+// Edges calls fn for every transition in canonical order.
+func (l *LTS) Edges(fn func(src, dst, label int, r rates.Rate)) {
+	l.seal()
+	for s := 0; s < l.NumStates; s++ {
+		lo, hi := l.csr.Row(s)
+		for i := lo; i < hi; i++ {
+			fn(s, int(l.csr.Dst[i]), int(l.csr.Label[i]), l.csr.Rate[i])
+		}
+	}
 }
 
 // NumTransitions returns the number of transitions.
-func (l *LTS) NumTransitions() int { return len(l.Transitions) }
+func (l *LTS) NumTransitions() int { return l.csr.NumEdges() + len(l.pending) }
+
+// SetStateDescFunc installs a lazy state-description provider, typically a
+// closure over the generating model and its interned state table.
+func (l *LTS) SetStateDescFunc(fn func(int) string) { l.descFn = fn }
+
+// HasStateDescs reports whether state descriptions are available.
+func (l *LTS) HasStateDescs() bool { return l.descFn != nil }
+
+// StateDesc returns a readable description of state s, or "s<n>" when no
+// provider is installed. Descriptions are rendered on demand so bulk
+// analyses never pay for them.
+func (l *LTS) StateDesc(s int) string {
+	if l.descFn != nil {
+		return l.descFn(s)
+	}
+	return fmt.Sprintf("s%d", s)
+}
 
 // IsDeadlock reports whether state s has no outgoing transitions.
-func (l *LTS) IsDeadlock(s int) bool { return len(l.Out(s)) == 0 }
+func (l *LTS) IsDeadlock(s int) bool { return l.Out(s).Len() == 0 }
 
 // Deadlocks returns all deadlocked states.
 func (l *LTS) Deadlocks() []int {
@@ -148,86 +223,110 @@ func (l *LTS) Pred(name string, s int) (bool, error) {
 	return false, fmt.Errorf("lts: unknown predicate %q", name)
 }
 
-// Hide returns a copy of the LTS in which every transition whose label
-// satisfies match is relabelled to tau. Rates are preserved.
+// Hide returns the LTS in which every transition whose label satisfies
+// match is relabelled to tau. This is an allocation-light pass over the
+// CSR form: the structural arrays (row starts, destinations, rates) are
+// shared with the input, only the label column is rewritten, and match is
+// consulted once per distinct label rather than once per transition.
+// Rates, predicates and state descriptions are preserved.
 func Hide(l *LTS, match func(label string) bool) *LTS {
-	out := New(l.NumStates)
-	out.Initial = l.Initial
-	out.StateDescs = l.StateDescs
-	out.PredNames = l.PredNames
-	out.Preds = l.Preds
-	for _, t := range l.Transitions {
-		name := l.Labels[t.Label]
-		li := TauIndex
-		if t.Label != TauIndex && !match(name) {
-			li = out.LabelIndex(name)
-		}
-		out.AddTransition(t.Src, t.Dst, li, t.Rate)
+	l.seal()
+	out := &LTS{
+		Initial:   l.Initial,
+		NumStates: l.NumStates,
+		PredNames: l.PredNames,
+		Preds:     l.Preds,
+		syms:      l.syms,
+		descFn:    l.descFn,
 	}
+	// Per-label verdicts, computed once over the symbol table.
+	hideLab := make([]bool, l.syms.Len())
+	for i := range hideLab {
+		hideLab[i] = i != TauIndex && match(l.syms.Name(i))
+	}
+	labels := make([]int32, len(l.csr.Label))
+	for i, li := range l.csr.Label {
+		if hideLab[li] {
+			labels[i] = TauIndex
+		} else {
+			labels[i] = li
+		}
+	}
+	out.setCSR(statespace.CSR{
+		RowStart: l.csr.RowStart,
+		Dst:      l.csr.Dst,
+		Label:    labels,
+		Rate:     l.csr.Rate,
+	})
 	return out
 }
 
 // Restrict returns the sub-LTS obtained by removing every transition whose
 // label satisfies match and then restricting to the states reachable from
-// the initial state. State indices are compacted; descriptions and
-// predicates are carried over.
+// the initial state. State indices are compacted; the symbol table is
+// shared with the input, and descriptions and predicates are carried over.
 func Restrict(l *LTS, match func(label string) bool) *LTS {
-	keep := make([]bool, len(l.Transitions))
-	for i, t := range l.Transitions {
-		keep[i] = t.Label == TauIndex || !match(l.Labels[t.Label])
+	l.seal()
+	keepLab := make([]bool, l.syms.Len())
+	for i := range keepLab {
+		keepLab[i] = i == TauIndex || !match(l.syms.Name(i))
 	}
 	// BFS over kept transitions.
-	l.buildIndex()
-	remap := make([]int, l.NumStates)
+	remap := make([]int32, l.NumStates)
 	for i := range remap {
 		remap[i] = -1
 	}
-	order := []int{l.Initial}
+	order := []int32{int32(l.Initial)}
 	remap[l.Initial] = 0
+	keptEdges := 0
 	for qi := 0; qi < len(order); qi++ {
 		s := order[qi]
-		for i := int(l.outIdx[s]); i < int(l.outIdx[s+1]); i++ {
-			if !keep[i] {
+		lo, hi := l.csr.Row(int(s))
+		for i := lo; i < hi; i++ {
+			if !keepLab[l.csr.Label[i]] {
 				continue
 			}
-			d := l.Transitions[i].Dst
+			keptEdges++
+			d := l.csr.Dst[i]
 			if remap[d] < 0 {
-				remap[d] = len(order)
+				remap[d] = int32(len(order))
 				order = append(order, d)
 			}
 		}
 	}
-	out := New(len(order))
+	out := NewShared(len(order), l.syms)
 	out.Initial = 0
-	if l.StateDescs != nil {
-		out.StateDescs = make([]string, len(order))
+	if l.descFn != nil {
+		parent := l.descFn
+		out.descFn = func(s int) string { return parent(int(order[s])) }
 	}
 	if l.Preds != nil {
 		out.PredNames = l.PredNames
 		out.Preds = make([][]bool, len(l.Preds))
 		for p := range l.Preds {
-			out.Preds[p] = make([]bool, len(order))
+			col := make([]bool, len(order))
+			for newIdx, oldIdx := range order {
+				col[newIdx] = l.Preds[p][oldIdx]
+			}
+			out.Preds[p] = col
 		}
 	}
-	for newIdx, oldIdx := range order {
-		if out.StateDescs != nil {
-			out.StateDescs[newIdx] = l.StateDescs[oldIdx]
-		}
-		for p := range out.Preds {
-			out.Preds[p][newIdx] = l.Preds[p][oldIdx]
+	edges := make([]statespace.Edge, 0, keptEdges)
+	for _, oldIdx := range order {
+		lo, hi := l.csr.Row(int(oldIdx))
+		for i := lo; i < hi; i++ {
+			if !keepLab[l.csr.Label[i]] || remap[l.csr.Dst[i]] < 0 {
+				continue
+			}
+			edges = append(edges, statespace.Edge{
+				Src:   remap[oldIdx],
+				Dst:   remap[l.csr.Dst[i]],
+				Label: l.csr.Label[i],
+				Rate:  l.csr.Rate[i],
+			})
 		}
 	}
-	for i, t := range l.Transitions {
-		if !keep[i] || remap[t.Src] < 0 || remap[t.Dst] < 0 {
-			continue
-		}
-		name := l.Labels[t.Label]
-		li := TauIndex
-		if t.Label != TauIndex {
-			li = out.LabelIndex(name)
-		}
-		out.AddTransition(remap[t.Src], remap[t.Dst], li, t.Rate)
-	}
+	out.setCSR(statespace.Build(len(order), edges))
 	return out
 }
 

@@ -83,11 +83,11 @@ func TestGenerateWorker(t *testing.T) {
 		t.Fatalf("NumTransitions = %d, want 2", l.NumTransitions())
 	}
 	out0 := l.Out(0)
-	if len(out0) != 1 || l.Labels[out0[0].Label] != "W.work" {
+	if out0.Len() != 1 || l.LabelName(int(out0.Label[0])) != "W.work" {
 		t.Errorf("Out(0) = %v", out0)
 	}
 	out1 := l.Out(1)
-	if len(out1) != 1 || l.Labels[out1[0].Label] != "W.report#S.report" {
+	if out1.Len() != 1 || l.LabelName(int(out1.Label[0])) != "W.report#S.report" {
 		t.Errorf("Out(1) = %v", out1)
 	}
 	if len(l.Deadlocks()) != 0 {
@@ -158,16 +158,16 @@ func TestHide(t *testing.T) {
 	}
 	h := Hide(l, LabelMatcherByNames("W.work"))
 	var sawTau, sawReport bool
-	for _, tr := range h.Transitions {
-		switch h.Labels[tr.Label] {
+	h.Edges(func(src, dst, label int, _ rates.Rate) {
+		switch h.LabelName(label) {
 		case TauName:
 			sawTau = true
 		case "W.report#S.report":
 			sawReport = true
 		default:
-			t.Errorf("unexpected label %q", h.Labels[tr.Label])
+			t.Errorf("unexpected label %q", h.LabelName(label))
 		}
-	}
+	})
 	if !sawTau || !sawReport {
 		t.Errorf("hide result: sawTau=%t sawReport=%t", sawTau, sawReport)
 	}
@@ -203,8 +203,13 @@ func TestRestrictKeepsPredicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := Restrict(l, func(lbl string) bool { return strings.Contains(lbl, "get") })
-	if r.StateDescs == nil || len(r.StateDescs) != r.NumStates {
+	if !r.HasStateDescs() {
 		t.Fatal("descriptions lost")
+	}
+	for s := 0; s < r.NumStates; s++ {
+		if r.StateDesc(s) == "" {
+			t.Fatalf("empty description for state %d", s)
+		}
 	}
 	// The last reachable state is the full buffer, where put is disabled.
 	full := r.NumStates - 1
@@ -247,6 +252,25 @@ func TestWriteDOT(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("DOT output missing %q", want)
 		}
+	}
+}
+
+// TestWriteDOTQuotedLabel guards against double-escaping: a label that
+// contains a double quote must render as \" in the DOT output, not \\\"
+// (the old code pre-escaped quotes before handing the label to %q).
+func TestWriteDOTQuotedLabel(t *testing.T) {
+	l := New(2)
+	l.AddTransition(0, 1, l.LabelIndex(`say "hi"`), rates.UntimedRate())
+	var sb strings.Builder
+	if err := WriteDOT(&sb, l, "q"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `label="say \"hi\""`) {
+		t.Errorf("quote not escaped exactly once:\n%s", out)
+	}
+	if strings.Contains(out, `\\"`) {
+		t.Errorf("double-escaped quote in DOT output:\n%s", out)
 	}
 }
 

@@ -1,0 +1,81 @@
+package lts_test
+
+// External-package test: builds a real paper model (internal/models) and
+// round-trips its generated state space through the Aldebaran writer and
+// parser, which an in-package test could not do without an import cycle.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/elab"
+	"repro/internal/lts"
+	"repro/internal/models"
+	"repro/internal/rates"
+)
+
+// edgeStrings renders every transition of an LTS as "src|label|dst" with
+// the rate decoration WriteAUT applies, so the multiset can be compared
+// across a serialization round trip (rates survive only as label text).
+func edgeStrings(l *lts.LTS, decorate bool) []string {
+	var out []string
+	l.Edges(func(src, dst, label int, r rates.Rate) {
+		name := l.LabelName(label)
+		if decorate && r.Kind != 0 && r.String() != "_" {
+			name += " {" + r.String() + "}"
+		}
+		out = append(out, strconv.Itoa(src)+"|"+name+"|"+strconv.Itoa(dst))
+	})
+	sort.Strings(out)
+	return out
+}
+
+// TestAUTRoundTripRPC is the satellite property test: the generated state
+// space of the paper's revised RPC system survives WriteAUT → ReadAUT with
+// its shape and its full (src, decorated label, dst) edge multiset intact.
+func TestAUTRoundTripRPC(t *testing.T) {
+	arch, err := models.BuildRPCRevised(models.DefaultRPCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := elab.Elaborate(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStates == 0 || l.NumTransitions() == 0 {
+		t.Fatal("degenerate RPC state space")
+	}
+
+	var sb strings.Builder
+	if err := lts.WriteAUT(&sb, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lts.ReadAUT(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.NumStates != l.NumStates || got.Initial != l.Initial ||
+		got.NumTransitions() != l.NumTransitions() {
+		t.Fatalf("shape changed: got %d/%d/%d, want %d/%d/%d",
+			got.NumStates, got.Initial, got.NumTransitions(),
+			l.NumStates, l.Initial, l.NumTransitions())
+	}
+
+	want := edgeStrings(l, true)    // original edges with rate decorations
+	have := edgeStrings(got, false) // parsed edges carry decorations in the label
+	if len(want) != len(have) {
+		t.Fatalf("edge count: got %d, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("edge %d differs:\n  got  %s\n  want %s", i, have[i], want[i])
+		}
+	}
+}

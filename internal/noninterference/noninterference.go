@@ -13,6 +13,12 @@
 //   - variant B first removes every high transition (the DPM is disabled),
 //     then hides every label that is not low.
 //
+// Both variants are composable passes over the CSR form of the one
+// generated state space — hiding rewrites only the label column (sharing
+// the structural arrays) and restriction is a reachability sweep — and
+// they share its label symbol table, so the equivalence check compares
+// label indices directly without matching names.
+//
 // The two variants are compared up to weak bisimulation. When the check
 // fails, the returned distinguishing modal-logic formula — over low labels
 // and weak modalities — holds in variant A and fails in variant B; it is

@@ -36,6 +36,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/rates"
 	"repro/internal/rng"
+	"repro/internal/statespace"
 	"repro/internal/stats"
 )
 
@@ -117,9 +118,14 @@ type stateInfo struct {
 
 // runner executes replications of one configuration.
 type runner struct {
-	cfg       Config
-	model     *elab.Model
-	stateMemo map[string]*stateInfo
+	cfg   Config
+	model *elab.Model
+	// Visited states are interned into an arena and the memo is indexed by
+	// the resulting dense id — the hot path performs no string conversion
+	// and no map-of-string lookup.
+	intern *statespace.Interner
+	memo   []*stateInfo
+	keyBuf []byte
 
 	// Flattened clauses.
 	stateClauses []measure.Clause
@@ -201,9 +207,9 @@ func Run(cfg Config) (*Result, error) {
 // newRunner flattens the measure clauses of a configuration.
 func newRunner(cfg Config) (*runner, error) {
 	r := &runner{
-		cfg:       cfg,
-		model:     cfg.Model,
-		stateMemo: make(map[string]*stateInfo, 1024),
+		cfg:    cfg,
+		model:  cfg.Model,
+		intern: statespace.NewInterner(),
 	}
 	for mi, m := range cfg.Measures {
 		r.stateOf = append(r.stateOf, nil)
@@ -228,12 +234,13 @@ func newRunner(cfg Config) (*runner, error) {
 }
 
 // fork returns a runner sharing the read-only configuration and flattened
-// clauses with its own state memo, for use by one worker goroutine.
+// clauses with its own state interner and memo, for use by one worker
+// goroutine (the interner is single-writer, never shared across workers).
 func (r *runner) fork() *runner {
 	return &runner{
 		cfg:          r.cfg,
 		model:        r.model,
-		stateMemo:    make(map[string]*stateInfo, 1024),
+		intern:       statespace.NewInterner(),
 		stateClauses: r.stateClauses,
 		transClauses: r.transClauses,
 		stateOf:      r.stateOf,
@@ -315,9 +322,12 @@ func (r *runner) runReplications(master *rng.Rand) ([][]float64, int64, error) {
 
 // info returns the cached successor/predicate data of a state.
 func (r *runner) info(s elab.State) (*stateInfo, error) {
-	key := r.model.Key(s)
-	if si, ok := r.stateMemo[key]; ok {
-		return si, nil
+	r.keyBuf = r.model.AppendKey(r.keyBuf[:0], s)
+	id, fresh := r.intern.Intern(r.keyBuf)
+	if !fresh && int(id) < len(r.memo) {
+		if si := r.memo[id]; si != nil {
+			return si, nil
+		}
 	}
 	succ, err := r.model.Successors(s)
 	if err != nil {
@@ -334,7 +344,10 @@ func (r *runner) info(s elab.State) (*stateInfo, error) {
 			si.preds[i] = ok
 		}
 	}
-	r.stateMemo[key] = si
+	for int(id) >= len(r.memo) {
+		r.memo = append(r.memo, nil)
+	}
+	r.memo[id] = si
 	return si, nil
 }
 

@@ -1,0 +1,78 @@
+package statespace
+
+import (
+	"sort"
+
+	"repro/internal/rates"
+)
+
+// Edge is one transition in edge-list form, used while a system is being
+// built; Build converts an edge list into CSR storage.
+type Edge struct {
+	// Src and Dst are state indices.
+	Src, Dst int32
+	// Label indexes the pipeline's Symbols table.
+	Label int32
+	// Rate is the timing annotation.
+	Rate rates.Rate
+}
+
+// CSR is compressed-sparse-row transition storage: the canonical form of
+// an explicit transition system. Dst, Label and Rate are parallel arrays;
+// the edges of state s occupy positions RowStart[s]..RowStart[s+1].
+// Rows produced by Build are sorted by (Label, Dst); derived systems
+// (hiding relabels in place) preserve the parent's within-row order, which
+// is still deterministic. A CSR is immutable once built — derived systems
+// share the arrays that they do not change.
+type CSR struct {
+	RowStart []int32
+	Dst      []int32
+	Label    []int32
+	Rate     []rates.Rate
+}
+
+// NumEdges returns the number of stored transitions.
+func (c *CSR) NumEdges() int { return len(c.Dst) }
+
+// Row returns the index range of state s's transitions.
+func (c *CSR) Row(s int) (lo, hi int32) { return c.RowStart[s], c.RowStart[s+1] }
+
+// Build constructs canonical CSR storage over n states from an edge list:
+// edges grouped by source, each row sorted by (label, destination) with
+// insertion order breaking exact ties (the sort is stable), so the result
+// is a pure function of the edge list.
+func Build(n int, edges []Edge) CSR {
+	c := CSR{
+		RowStart: make([]int32, n+1),
+		Dst:      make([]int32, len(edges)),
+		Label:    make([]int32, len(edges)),
+		Rate:     make([]rates.Rate, len(edges)),
+	}
+	perm := make([]int32, len(edges))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		a, b := &edges[perm[x]], &edges[perm[y]]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.Dst < b.Dst
+	})
+	for _, e := range edges {
+		c.RowStart[e.Src+1]++
+	}
+	for s := 1; s <= n; s++ {
+		c.RowStart[s] += c.RowStart[s-1]
+	}
+	for i, p := range perm {
+		e := &edges[p]
+		c.Dst[i] = e.Dst
+		c.Label[i] = e.Label
+		c.Rate[i] = e.Rate
+	}
+	return c
+}

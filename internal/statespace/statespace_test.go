@@ -1,0 +1,179 @@
+package statespace
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rates"
+)
+
+func TestSymbolsTauIsZero(t *testing.T) {
+	s := NewSymbols()
+	if got := s.Intern(TauName); got != TauIndex {
+		t.Fatalf("Intern(tau) = %d, want %d", got, TauIndex)
+	}
+	if s.Name(TauIndex) != TauName {
+		t.Fatalf("Name(0) = %q, want %q", s.Name(TauIndex), TauName)
+	}
+}
+
+func TestSymbolsInternStable(t *testing.T) {
+	s := NewSymbols()
+	a := s.Intern("a")
+	b := s.Intern("b")
+	if a == b {
+		t.Fatal("distinct names share an index")
+	}
+	if s.Intern("a") != a || s.Intern("b") != b {
+		t.Fatal("re-interning changed the index")
+	}
+	if i, ok := s.Lookup("b"); !ok || i != b {
+		t.Fatalf("Lookup(b) = (%d, %t), want (%d, true)", i, ok, b)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Fatal("Lookup of an absent name succeeded")
+	}
+}
+
+func TestInternerBasic(t *testing.T) {
+	in := NewInterner()
+	id1, fresh1 := in.Intern([]byte("alpha"))
+	if !fresh1 {
+		t.Fatal("first Intern not fresh")
+	}
+	id2, fresh2 := in.Intern([]byte("alpha"))
+	if fresh2 || id2 != id1 {
+		t.Fatalf("re-Intern = (%d, %t), want (%d, false)", id2, fresh2, id1)
+	}
+	if got := string(in.Bytes(id1)); got != "alpha" {
+		t.Fatalf("Bytes(%d) = %q, want %q", id1, got, "alpha")
+	}
+	if in.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", in.Len())
+	}
+	if id, ok := in.Lookup([]byte("alpha")); !ok || id != id1 {
+		t.Fatalf("Lookup = (%d, %t), want (%d, true)", id, ok, id1)
+	}
+	if _, ok := in.Lookup([]byte("beta")); ok {
+		t.Fatal("Lookup of an absent key succeeded")
+	}
+}
+
+// TestInternerIDsAreDense verifies ids are assigned 0,1,2,… in first-seen
+// order — the property that lets callers index flat side tables by id.
+func TestInternerIDsAreDense(t *testing.T) {
+	in := NewInterner()
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		id, fresh := in.Intern(key)
+		if !fresh || id != uint32(i) {
+			t.Fatalf("Intern #%d = (%d, %t), want (%d, true)", i, id, fresh, i)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		if id, fresh := in.Intern(key); fresh || id != uint32(i) {
+			t.Fatalf("re-Intern #%d = (%d, %t)", i, id, fresh)
+		}
+		if got := string(in.Bytes(uint32(i))); got != string(key) {
+			t.Fatalf("Bytes(%d) = %q after growth, want %q", i, got, key)
+		}
+	}
+}
+
+// TestInternerCollisions drives many keys through a table that starts tiny
+// relative to the load, forcing hash collisions, probe chains, and several
+// grow/rehash cycles; every key must keep resolving to its own id, and
+// distinct keys must never share one.
+func TestInternerCollisions(t *testing.T) {
+	in := NewInterner()
+	const n = 20000
+	ids := make(map[uint32]string, n)
+	for i := 0; i < n; i++ {
+		// Keys engineered to share long prefixes, which stresses the
+		// byte-wise equality check behind a matching hash slot.
+		key := []byte(fmt.Sprintf("common-prefix-%d-%d", i%7, i))
+		id, fresh := in.Intern(key)
+		if !fresh {
+			t.Fatalf("key %q reported as duplicate", key)
+		}
+		if prev, clash := ids[id]; clash {
+			t.Fatalf("id %d assigned to both %q and %q", id, prev, key)
+		}
+		ids[id] = string(key)
+	}
+	if in.Len() != n {
+		t.Fatalf("Len = %d, want %d", in.Len(), n)
+	}
+	for id, key := range ids {
+		if got := string(in.Bytes(id)); got != key {
+			t.Fatalf("Bytes(%d) = %q, want %q", id, got, key)
+		}
+		if got, fresh := in.Intern([]byte(key)); fresh || got != id {
+			t.Fatalf("re-Intern(%q) = (%d, %t), want (%d, false)", key, got, fresh, id)
+		}
+	}
+}
+
+// TestInternerEmptyKey: the empty key is a valid (if unusual) key and must
+// intern exactly once.
+func TestInternerEmptyKey(t *testing.T) {
+	in := NewInterner()
+	id, fresh := in.Intern(nil)
+	if !fresh {
+		t.Fatal("empty key not fresh on first Intern")
+	}
+	if id2, fresh2 := in.Intern([]byte{}); fresh2 || id2 != id {
+		t.Fatalf("empty key re-Intern = (%d, %t), want (%d, false)", id2, fresh2, id)
+	}
+	if len(in.Bytes(id)) != 0 {
+		t.Fatal("empty key round-trips non-empty")
+	}
+}
+
+func TestCSRBuildSortsAndIndexes(t *testing.T) {
+	edges := []Edge{
+		{Src: 1, Dst: 0, Label: 2, Rate: rates.UntimedRate()},
+		{Src: 0, Dst: 1, Label: 1, Rate: rates.UntimedRate()},
+		{Src: 0, Dst: 0, Label: 1, Rate: rates.UntimedRate()},
+		{Src: 0, Dst: 1, Label: 0, Rate: rates.UntimedRate()},
+	}
+	c := Build(3, edges)
+	if c.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", c.NumEdges())
+	}
+	lo, hi := c.Row(0)
+	if hi-lo != 3 {
+		t.Fatalf("row 0 has %d edges, want 3", hi-lo)
+	}
+	// Canonical (label, dst) order within the row.
+	wantLabel := []int32{0, 1, 1}
+	wantDst := []int32{1, 0, 1}
+	for i := lo; i < hi; i++ {
+		if c.Label[i] != wantLabel[i-lo] || c.Dst[i] != wantDst[i-lo] {
+			t.Fatalf("row 0 edge %d = (label %d, dst %d), want (%d, %d)",
+				i-lo, c.Label[i], c.Dst[i], wantLabel[i-lo], wantDst[i-lo])
+		}
+	}
+	if lo, hi := c.Row(2); lo != hi {
+		t.Fatalf("row 2 should be empty, got %d edges", hi-lo)
+	}
+}
+
+// TestCSRBuildStableOnTies: edges with identical (src, label, dst) keep
+// their insertion order, which pins down float accumulation order in every
+// consumer.
+func TestCSRBuildStableOnTies(t *testing.T) {
+	edges := []Edge{
+		{Src: 0, Dst: 1, Label: 0, Rate: rates.ExpRate(1)},
+		{Src: 0, Dst: 1, Label: 0, Rate: rates.ExpRate(2)},
+		{Src: 0, Dst: 1, Label: 0, Rate: rates.ExpRate(3)},
+	}
+	c := Build(2, edges)
+	for i, want := range []float64{1, 2, 3} {
+		if c.Rate[i].Lambda != want {
+			t.Fatalf("tie order not stable: Rate[%d].Lambda = %v, want %v",
+				i, c.Rate[i].Lambda, want)
+		}
+	}
+}

@@ -6,6 +6,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -17,5 +25,10 @@ go test ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+# Benchmark smoke run: one iteration of every benchmark, so a benchmark
+# that no longer compiles or panics fails CI without costing bench time.
+echo "== bench smoke =="
+go test -run '^$' -bench . -benchtime 1x ./...
 
 echo "CI OK"
