@@ -365,3 +365,78 @@ func benchSimReplications(b *testing.B, workers int) {
 
 func BenchmarkSimReplicationsSequential(b *testing.B) { benchSimReplications(b, 1) }
 func BenchmarkSimReplicationsParallel(b *testing.B)   { benchSimReplications(b, runtime.NumCPU()) }
+
+// --- Parallel generation and parallel solve: sequential vs parallel ---
+//
+// The remaining single-threaded hot paths of the analytic pipeline,
+// benchmarked at GenWorkers/Workers = 1 vs NumCPU on the full-size
+// streaming model. Outputs are bit-identical at any worker count (the
+// level-synchronized merge and the fixed Jacobi summation order), so the
+// delta is pure wall-clock; results/BENCH_genparallel.json records the
+// measured ratios with the core count.
+
+func benchGenerate(b *testing.B, workers int) {
+	a, err := models.BuildStreaming(models.DefaultStreamingParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lts.Generate(m, lts.GenerateOptions{GenWorkers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSequential(b *testing.B) { benchGenerate(b, 1) }
+func BenchmarkGenerateParallel(b *testing.B)   { benchGenerate(b, runtime.NumCPU()) }
+
+// streamingSteadyChain builds the full-size streaming chain once; its
+// recurrent component (1155 tangible states) sits above the Jacobi
+// threshold, so it exercises the parallel sweep in auto mode too.
+func streamingSteadyChain(b *testing.B) *ctmc.CTMC {
+	b.Helper()
+	a, err := models.BuildStreaming(models.DefaultStreamingParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := ctmc.Build(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return chain
+}
+
+func benchSteadyState(b *testing.B, opts ctmc.SolveOptions) {
+	chain := streamingSteadyChain(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chain.SteadyState(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyStateGaussSeidel(b *testing.B) {
+	benchSteadyState(b, ctmc.SolveOptions{Sweep: ctmc.SweepGaussSeidel})
+}
+
+func BenchmarkSteadyStateJacobiSequential(b *testing.B) {
+	benchSteadyState(b, ctmc.SolveOptions{Sweep: ctmc.SweepJacobi, Workers: 1})
+}
+
+func BenchmarkSteadyStateJacobiParallel(b *testing.B) {
+	benchSteadyState(b, ctmc.SolveOptions{Sweep: ctmc.SweepJacobi, Workers: runtime.NumCPU()})
+}

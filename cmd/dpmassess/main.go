@@ -3,14 +3,18 @@
 //
 // Usage:
 //
-//	dpmassess lts      [-dot out.dot] [-max N] model.aem
-//	dpmassess check    -high INST -low INST [-high-labels l1,l2] model.aem
-//	dpmassess solve    -measures spec.msr model.aem
+//	dpmassess lts      [-dot out.dot] [-max N] [-workers N] model.aem
+//	dpmassess check    -high INST -low INST [-high-labels l1,l2] [-workers N] model.aem
+//	dpmassess solve    -measures spec.msr [-sweep auto|gauss-seidel|jacobi] [-workers N] model.aem
 //	dpmassess sim      -measures spec.msr [-runlength T] [-warmup T]
 //	                   [-reps N] [-seed S] [-workers N] model.aem
-//	dpmassess equiv    [-relation strong|weak|markovian] a.aem b.aem
-//	dpmassess minimize [-relation strong|weak|markovian] [-dot out.dot] model.aem
-//	dpmassess mc       -formula 'EXISTS_WEAK_TRANS(...)' [-hide-except INST] model.aem
+//	dpmassess equiv    [-relation strong|weak|markovian] [-workers N] a.aem b.aem
+//	dpmassess minimize [-relation strong|weak|markovian] [-dot out.dot] [-workers N] model.aem
+//	dpmassess mc       -formula 'EXISTS_WEAK_TRANS(...)' [-hide-except INST] [-workers N] model.aem
+//
+// Every subcommand that explores a state space takes -workers: it bounds
+// the generation worker pool (and, for solve, the steady-state solver
+// pool). Outputs are bit-identical at any worker count.
 //
 // The check subcommand performs the phase-1 noninterference analysis
 // (hide-vs-restrict up to weak bisimulation) and prints the diagnostic
@@ -31,6 +35,7 @@ import (
 	"repro/internal/aemilia/parser"
 	"repro/internal/bisim"
 	"repro/internal/core"
+	"repro/internal/ctmc"
 	"repro/internal/elab"
 	"repro/internal/hml"
 	"repro/internal/lts"
@@ -78,6 +83,7 @@ func runMC(args []string) error {
 	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
 	formulaText := fs.String("formula", "", "formula in TwoTowers diagnostic syntax")
 	hideExcept := fs.String("hide-except", "", "hide every label not involving this instance (observation window)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,7 +98,7 @@ func runMC(args []string) error {
 	if err != nil {
 		return err
 	}
-	l, err := loadLTS(path)
+	l, err := loadLTS(path, *workers)
 	if err != nil {
 		return err
 	}
@@ -114,17 +120,18 @@ func runMC(args []string) error {
 func runEquiv(args []string) error {
 	fs := flag.NewFlagSet("equiv", flag.ContinueOnError)
 	relName := fs.String("relation", "weak", "equivalence relation (strong, weak, markovian)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
 		return fmt.Errorf("equiv expects two model files")
 	}
-	l1, err := loadLTS(fs.Arg(0))
+	l1, err := loadLTS(fs.Arg(0), *workers)
 	if err != nil {
 		return err
 	}
-	l2, err := loadLTS(fs.Arg(1))
+	l2, err := loadLTS(fs.Arg(1), *workers)
 	if err != nil {
 		return err
 	}
@@ -161,6 +168,7 @@ func runMinimize(args []string) error {
 	fs := flag.NewFlagSet("minimize", flag.ContinueOnError)
 	relName := fs.String("relation", "weak", "equivalence relation (strong, weak, markovian)")
 	dotPath := fs.String("dot", "", "write the quotient in Graphviz DOT format")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,7 +176,7 @@ func runMinimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	l, err := loadLTS(path)
+	l, err := loadLTS(path, *workers)
 	if err != nil {
 		return err
 	}
@@ -200,13 +208,21 @@ func runMinimize(args []string) error {
 	return nil
 }
 
-// loadLTS parses a model file and generates its state space.
-func loadLTS(path string) (*lts.LTS, error) {
+// workersFlag registers the shared -workers flag: the generation (and,
+// where applicable, solver) worker-pool bound.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", runtime.NumCPU(),
+		"state-space generation workers (outputs are identical at any value)")
+}
+
+// loadLTS parses a model file and generates its state space on the given
+// worker pool.
+func loadLTS(path string, workers int) (*lts.LTS, error) {
 	m, err := loadModel(path)
 	if err != nil {
 		return nil, err
 	}
-	return lts.Generate(m, lts.GenerateOptions{})
+	return lts.Generate(m, lts.GenerateOptions{GenWorkers: workers})
 }
 
 func loadModel(path string) (*elab.Model, error) {
@@ -233,6 +249,7 @@ func runLTS(args []string) error {
 	dotPath := fs.String("dot", "", "write the state space in Graphviz DOT format")
 	autPath := fs.String("aut", "", "write the state space in Aldebaran (CADP) format")
 	maxStates := fs.Int("max", 0, "abort beyond this many states (0 = default bound)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -247,6 +264,7 @@ func runLTS(args []string) error {
 	l, err := lts.Generate(m, lts.GenerateOptions{
 		MaxStates:        *maxStates,
 		KeepDescriptions: *dotPath != "",
+		GenWorkers:       *workers,
 	})
 	if err != nil {
 		return err
@@ -287,6 +305,7 @@ func runCheck(args []string) error {
 	high := fs.String("high", "", "high instance (its synchronizations are the power commands)")
 	low := fs.String("low", "", "low instance (its actions are the observables)")
 	highLabels := fs.String("high-labels", "", "comma-separated explicit high labels (overrides -high)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -310,7 +329,7 @@ func runCheck(args []string) error {
 	} else {
 		spec.High = lts.LabelMatcherByInstance(*high)
 	}
-	l, err := lts.Generate(m, lts.GenerateOptions{})
+	l, err := lts.Generate(m, lts.GenerateOptions{GenWorkers: *workers})
 	if err != nil {
 		return err
 	}
@@ -342,6 +361,9 @@ func readMeasures(path string) ([]measure.Measure, error) {
 func runSolve(args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	measuresPath := fs.String("measures", "", "measure definition file (companion language)")
+	sweepName := fs.String("sweep", "auto",
+		"steady-state sweep mode: auto, gauss-seidel, or jacobi")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -352,19 +374,28 @@ func runSolve(args []string) error {
 	if *measuresPath == "" {
 		return fmt.Errorf("-measures is required")
 	}
+	var sweep ctmc.Sweep
+	switch *sweepName {
+	case "auto":
+		sweep = ctmc.SweepAuto
+	case "gauss-seidel":
+		sweep = ctmc.SweepGaussSeidel
+	case "jacobi":
+		sweep = ctmc.SweepJacobi
+	default:
+		return fmt.Errorf("unknown sweep mode %q", *sweepName)
+	}
 	ms, err := readMeasures(*measuresPath)
 	if err != nil {
 		return err
 	}
-	src, err := os.ReadFile(path)
+	m, err := loadModel(path)
 	if err != nil {
 		return err
 	}
-	arch, err := parser.Parse(string(src))
-	if err != nil {
-		return err
-	}
-	rep, err := core.Phase2(arch, ms, lts.GenerateOptions{})
+	rep, err := core.Phase2ModelSolve(m, ms,
+		lts.GenerateOptions{GenWorkers: *workers},
+		ctmc.SolveOptions{Sweep: sweep, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -32,7 +32,8 @@ func run(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	quick := fs.Bool("quick", false, "small buffers and shorter simulations (smoke run)")
 	workers := fs.Int("workers", runtime.NumCPU(),
-		"concurrent sweep points and simulation replications (results are identical at any value)")
+		"concurrent sweep points, simulation replications, state-space generation\n"+
+			"workers, and steady-state solver workers (results are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

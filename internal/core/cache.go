@@ -21,7 +21,10 @@ import (
 // model by BFS and assigns state identifiers in first-intern order, so
 // every sweep that generates from the same cached model observes the
 // same identifier for the same global state — a property the golden
-// bit-identity tests rely on at any worker count.
+// bit-identity tests rely on at any worker count. The same immutability
+// makes a cached model safe to hand to the parallel generator
+// (lts.GenerateOptions.GenWorkers): its frontier workers call Successors
+// on the shared model concurrently without synchronization.
 type BuildCache[K comparable] struct {
 	mu      sync.Mutex
 	entries map[K]*cacheEntry

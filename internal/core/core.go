@@ -83,8 +83,16 @@ func Phase2(arch *aemilia.ArchiType, measures []measure.Measure, opts lts.Genera
 }
 
 // Phase2Model is Phase2 on an already-elaborated model — the entry point
-// for sweeps that reuse models from a BuildCache.
+// for sweeps that reuse models from a BuildCache. The solver runs with
+// default options; sweeps that tune the solver use Phase2ModelSolve.
 func Phase2Model(m *elab.Model, measures []measure.Measure, opts lts.GenerateOptions) (*Phase2Report, error) {
+	return Phase2ModelSolve(m, measures, opts, ctmc.SolveOptions{})
+}
+
+// Phase2ModelSolve is Phase2Model with explicit solver options, letting
+// callers pick the steady-state sweep mode and worker count alongside the
+// generation workers carried by opts.GenWorkers.
+func Phase2ModelSolve(m *elab.Model, measures []measure.Measure, opts lts.GenerateOptions, solve ctmc.SolveOptions) (*Phase2Report, error) {
 	opts.Predicates = append(opts.Predicates, measure.StatePreds(measures)...)
 	l, err := lts.Generate(m, opts)
 	if err != nil {
@@ -94,7 +102,7 @@ func Phase2Model(m *elab.Model, measures []measure.Measure, opts lts.GenerateOpt
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
-	pi, err := chain.SteadyState(ctmc.SolveOptions{})
+	pi, err := chain.SteadyState(solve)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}

@@ -4,15 +4,58 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 )
+
+// Sweep selects the iteration scheme SteadyState uses on the recurrent
+// component.
+type Sweep int
+
+const (
+	// SweepAuto picks Jacobi for components of at least JacobiThreshold
+	// states when more than one worker is available (where the parallel
+	// sweep pays off) and Gauss-Seidel otherwise, falling back to
+	// Gauss-Seidel if Jacobi fails to converge.
+	SweepAuto Sweep = iota
+	// SweepGaussSeidel forces the sequential Gauss-Seidel sweep.
+	SweepGaussSeidel
+	// SweepJacobi forces the damped Jacobi sweep, whose row updates are
+	// independent and therefore partition across workers while staying
+	// bit-identical at any worker count.
+	SweepJacobi
+)
+
+// String returns the sweep mode's canonical name.
+func (s Sweep) String() string {
+	switch s {
+	case SweepGaussSeidel:
+		return "gauss-seidel"
+	case SweepJacobi:
+		return "jacobi"
+	default:
+		return "auto"
+	}
+}
 
 // SolveOptions tunes the steady-state solver.
 type SolveOptions struct {
 	// Tolerance is the convergence threshold on the max relative change
 	// per sweep (default 1e-12).
 	Tolerance float64
-	// MaxIterations bounds the Gauss-Seidel sweeps (default 200000).
+	// MaxIterations bounds the sweeps (default 200000).
 	MaxIterations int
+	// Sweep selects the iteration scheme (default SweepAuto: Jacobi when
+	// the component reaches JacobiThreshold states and more than one
+	// worker is available, Gauss-Seidel otherwise).
+	Sweep Sweep
+	// Workers bounds the Jacobi worker pool (0 = GOMAXPROCS). The solver
+	// result is bit-identical at any value: each row's inflow is summed in
+	// its fixed CSR order regardless of which worker owns the row, and the
+	// normalization sum is one canonical sequential pass.
+	Workers int
+	// JacobiThreshold is the component size at which SweepAuto switches
+	// from Gauss-Seidel to Jacobi (default 1024).
+	JacobiThreshold int
 }
 
 // ErrNoConvergence reports that the iterative solver hit its iteration
@@ -20,8 +63,8 @@ type SolveOptions struct {
 var ErrNoConvergence = errors.New("ctmc: steady-state solver did not converge")
 
 // ConvergenceError is the concrete failure SteadyState returns when the
-// Gauss-Seidel iteration gives up: it wraps ErrNoConvergence (so
-// errors.Is keeps working) and carries the iteration count and the last
+// iteration gives up: it wraps ErrNoConvergence (so errors.Is keeps
+// working) and carries the sweep mode, the iteration count, and the last
 // residual, making sweep failures diagnosable at the call site.
 type ConvergenceError struct {
 	// Iterations is the number of sweeps performed.
@@ -30,12 +73,15 @@ type ConvergenceError struct {
 	Residual float64
 	// Tolerance is the convergence threshold that was not reached.
 	Tolerance float64
+	// Sweep is the iteration scheme that failed (SweepGaussSeidel or
+	// SweepJacobi, never SweepAuto).
+	Sweep Sweep
 }
 
 // Error implements the error interface.
 func (e *ConvergenceError) Error() string {
-	return fmt.Sprintf("%v after %d iterations (residual %.3g, tolerance %.3g)",
-		ErrNoConvergence, e.Iterations, e.Residual, e.Tolerance)
+	return fmt.Sprintf("%v after %d iterations (%s sweep, residual %.3g, tolerance %.3g)",
+		ErrNoConvergence, e.Iterations, e.Sweep, e.Residual, e.Tolerance)
 }
 
 // Unwrap makes errors.Is(err, ErrNoConvergence) hold.
@@ -52,6 +98,12 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 	}
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = 200000
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.JacobiThreshold <= 0 {
+		opts.JacobiThreshold = 1024
 	}
 
 	bsccs := c.bottomSCCs()
@@ -76,61 +128,123 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 		return pi, nil
 	}
 
-	// Gauss-Seidel on the balance equations restricted to the component:
-	// pi_j * exit_j = sum_{i -> j} pi_i * q_ij.
+	comp := c.buildComponent(target)
+	sweep := opts.Sweep
+	if sweep == SweepAuto {
+		// Jacobi needs fewer wall-clock sweeps only when rows actually
+		// spread across workers; damped Jacobi converges slower than
+		// Gauss-Seidel per sweep, so with one worker — or a component too
+		// small to amortize the pool — the sequential sweep wins.
+		if len(target) >= opts.JacobiThreshold && opts.Workers > 1 {
+			sweep = SweepJacobi
+		} else {
+			sweep = SweepGaussSeidel
+		}
+	}
+	var (
+		x   []float64
+		err error
+	)
+	if sweep == SweepJacobi {
+		x, err = comp.jacobi(opts)
+		if err != nil && opts.Sweep == SweepAuto && errors.Is(err, ErrNoConvergence) {
+			// Auto mode falls back to the sequential sweep: Gauss-Seidel's
+			// sequential substitution converges on chains where even the
+			// damped simultaneous update crawls.
+			x, err = comp.gaussSeidel(opts)
+		}
+	} else {
+		x, err = comp.gaussSeidel(opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for j, s := range target {
+		pi[s] = x[j]
+	}
+	return pi, nil
+}
+
+// component is the recurrent component in local coordinates: the balance
+// equations pi_j * exit_j = sum_{i -> j} pi_i * q_ij restricted to the
+// component, with the incoming adjacency flattened CSR-style — the
+// incoming edges of local state j are inFrom/inRate[inStart[j]:
+// inStart[j+1]]. Two flat arrays instead of a slice-of-slices keep the
+// per-sweep inner loop on contiguous memory and cost a handful of
+// allocations per solve, however often a sweep rebuilds the chain.
+type component struct {
+	n       int
+	inStart []int32
+	inFrom  []int32
+	inRate  []float64
+	exit    []float64
+}
+
+func (c *CTMC) buildComponent(target []int) *component {
 	inComp := make([]bool, c.N)
 	local := make([]int, c.N) // global -> local index
 	for li, s := range target {
 		inComp[s] = true
 		local[s] = li
 	}
-	// Incoming adjacency within the component, flattened CSR-style: the
-	// incoming edges of local state j are inFrom/inRate[inStart[j]:
-	// inStart[j+1]]. Two flat arrays instead of a slice-of-slices keep the
-	// per-sweep inner loop on contiguous memory and cost three allocations
-	// per solve, however often a sweep rebuilds the chain.
-	inStart := make([]int32, len(target)+1)
+	p := &component{n: len(target)}
+	p.inStart = make([]int32, len(target)+1)
 	for _, s := range target {
 		for _, e := range c.Rows[s] {
 			if inComp[e.Col] {
-				inStart[local[e.Col]+1]++
+				p.inStart[local[e.Col]+1]++
 			}
 		}
 	}
 	for j := 0; j < len(target); j++ {
-		inStart[j+1] += inStart[j]
+		p.inStart[j+1] += p.inStart[j]
 	}
-	inFrom := make([]int32, inStart[len(target)])
-	inRate := make([]float64, inStart[len(target)])
+	p.inFrom = make([]int32, p.inStart[len(target)])
+	p.inRate = make([]float64, p.inStart[len(target)])
 	fill := make([]int32, len(target))
-	copy(fill, inStart[:len(target)])
+	copy(fill, p.inStart[:len(target)])
 	for _, s := range target {
 		for _, e := range c.Rows[s] {
 			if inComp[e.Col] {
 				j := local[e.Col]
-				inFrom[fill[j]] = int32(local[s])
-				inRate[fill[j]] = e.Rate
+				p.inFrom[fill[j]] = int32(local[s])
+				p.inRate[fill[j]] = e.Rate
 				fill[j]++
 			}
 		}
 	}
-	x := make([]float64, len(target))
-	for i := range x {
-		x[i] = 1 / float64(len(target))
+	p.exit = make([]float64, len(target))
+	for j, s := range target {
+		p.exit[j] = c.Exit[s]
 	}
+	return p
+}
+
+// uniform returns the uniform starting vector both sweeps iterate from.
+func (p *component) uniform() []float64 {
+	x := make([]float64, p.n)
+	for i := range x {
+		x[i] = 1 / float64(p.n)
+	}
+	return x
+}
+
+// gaussSeidel runs the sequential Gauss-Seidel sweep: each row update
+// reads the in-place vector, so updates within a sweep feed forward.
+func (p *component) gaussSeidel(opts SolveOptions) ([]float64, error) {
+	x := p.uniform()
 	maxDelta := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		maxDelta = 0.0
-		for j := range target {
-			exit := c.Exit[target[j]]
-			if exit <= 0 {
+		for j := 0; j < p.n; j++ {
+			if p.exit[j] <= 0 {
 				continue
 			}
 			inflow := 0.0
-			for k := inStart[j]; k < inStart[j+1]; k++ {
-				inflow += x[inFrom[k]] * inRate[k]
+			for k := p.inStart[j]; k < p.inStart[j+1]; k++ {
+				inflow += x[p.inFrom[k]] * p.inRate[k]
 			}
-			next := inflow / exit
+			next := inflow / p.exit[j]
 			d := math.Abs(next - x[j])
 			if rel := d / math.Max(next, 1e-300); rel > maxDelta {
 				maxDelta = rel
@@ -143,19 +257,123 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 			sum += v
 		}
 		if sum <= 0 {
-			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance}
+			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel}
 		}
 		for j := range x {
 			x[j] /= sum
 		}
 		if maxDelta < opts.Tolerance {
-			for j, s := range target {
-				pi[s] = x[j]
-			}
-			return pi, nil
+			return x, nil
 		}
 	}
-	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance}
+	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel}
+}
+
+// jacobiOmega damps the Jacobi update: x' = (1-ω)·x + ω·inflow/exit.
+// Undamped Jacobi is the power method on the embedded jump chain (in flow
+// coordinates) and oscillates forever when that chain is periodic — which
+// birth-death-like queueing chains are. Damping with ω = 1/2 iterates the
+// lazy chain instead, whose spectrum lies strictly inside the unit disk
+// away from 1, so the sweep converges to the same fixed point.
+const jacobiOmega = 0.5
+
+// jacobi runs the damped Jacobi sweep. Every row update reads only the
+// previous sweep's vector, so rows partition freely across workers; the
+// per-row inflow is summed in its fixed CSR order no matter which worker
+// owns the row, maxDelta is an order-independent max-reduction over
+// per-block maxima, and the normalization sum is one canonical sequential
+// pass — the iterate is bit-identical at any worker count.
+func (p *component) jacobi(opts SolveOptions) ([]float64, error) {
+	x := p.uniform()
+	next := make([]float64, p.n)
+
+	workers := opts.Workers
+	if workers > p.n {
+		workers = p.n
+	}
+	blockSize := (p.n + workers - 1) / workers
+	nblocks := (p.n + blockSize - 1) / blockSize
+	blockDelta := make([]float64, nblocks)
+
+	sweepBlock := func(b int) {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > p.n {
+			hi = p.n
+		}
+		d := 0.0
+		for j := lo; j < hi; j++ {
+			nx := x[j]
+			if p.exit[j] > 0 {
+				inflow := 0.0
+				for k := p.inStart[j]; k < p.inStart[j+1]; k++ {
+					inflow += x[p.inFrom[k]] * p.inRate[k]
+				}
+				nx = (1-jacobiOmega)*x[j] + jacobiOmega*(inflow/p.exit[j])
+			}
+			if rel := math.Abs(nx-x[j]) / math.Max(nx, 1e-300); rel > d {
+				d = rel
+			}
+			next[j] = nx
+		}
+		blockDelta[b] = d
+	}
+
+	// Persistent pool: workers stay parked on the work channel between
+	// sweeps, so a sweep costs two channel hops per block instead of a
+	// goroutine spawn. The channel operations order each sweep's vector
+	// swap before the block work and the block work before the reduction.
+	var work, done chan int
+	if nblocks > 1 {
+		work = make(chan int)
+		done = make(chan int)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for b := range work {
+					sweepBlock(b)
+					done <- b
+				}
+			}()
+		}
+		defer close(work)
+	}
+
+	maxDelta := math.Inf(1)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if nblocks > 1 {
+			for b := 0; b < nblocks; b++ {
+				work <- b
+			}
+			for b := 0; b < nblocks; b++ {
+				<-done
+			}
+		} else {
+			sweepBlock(0)
+		}
+		maxDelta = 0.0
+		for _, d := range blockDelta {
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		// Normalize to avoid drift: one canonical sequential sum.
+		sum := 0.0
+		for _, v := range next {
+			sum += v
+		}
+		if sum <= 0 {
+			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi}
+		}
+		inv := 1 / sum
+		for j := range next {
+			next[j] *= inv
+		}
+		x, next = next, x
+		if maxDelta < opts.Tolerance {
+			return x, nil
+		}
+	}
+	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi}
 }
 
 // reachableFromInitial returns the set of tangible states reachable from

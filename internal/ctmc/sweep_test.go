@@ -1,0 +1,136 @@
+// Sweep-mode comparison tests live in an external test package: they
+// build the paper's rpc and streaming chains through internal/models,
+// which ctmc itself cannot import (models → measure → ctmc).
+package ctmc_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/aemilia"
+	"repro/internal/ctmc"
+	"repro/internal/elab"
+	"repro/internal/lts"
+	"repro/internal/models"
+)
+
+func rpcChain(t *testing.T) *ctmc.CTMC {
+	t.Helper()
+	a, err := models.BuildRPCRevised(models.DefaultRPCParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chainOf(t, a)
+}
+
+func streamingChain(t *testing.T) *ctmc.CTMC {
+	t.Helper()
+	p := models.DefaultStreamingParams()
+	p.APCapacity, p.ClientCapacity = 3, 3
+	a, err := models.BuildStreaming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chainOf(t, a)
+}
+
+func chainOf(t *testing.T, a *aemilia.ArchiType) *ctmc.CTMC {
+	t.Helper()
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ctmc.Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func steadyOrFatal(t *testing.T, c *ctmc.CTMC, opts ctmc.SolveOptions) []float64 {
+	t.Helper()
+	pi, err := c.SteadyState(opts)
+	if err != nil {
+		t.Fatalf("SteadyState(%+v): %v", opts, err)
+	}
+	return pi
+}
+
+// TestJacobiMatchesGaussSeidel checks the two sweep modes agree on the
+// paper's chains to within solver tolerance: they iterate differently but
+// share the fixed point.
+func TestJacobiMatchesGaussSeidel(t *testing.T) {
+	chains := map[string]*ctmc.CTMC{
+		"rpc":       rpcChain(t),
+		"streaming": streamingChain(t),
+	}
+	for name, c := range chains {
+		gs := steadyOrFatal(t, c, ctmc.SolveOptions{Sweep: ctmc.SweepGaussSeidel})
+		ja := steadyOrFatal(t, c, ctmc.SolveOptions{Sweep: ctmc.SweepJacobi})
+		for s := range gs {
+			diff := math.Abs(gs[s] - ja[s])
+			if rel := diff / math.Max(math.Abs(gs[s]), 1e-12); rel > 1e-8 && diff > 1e-12 {
+				t.Fatalf("%s: state %d: gauss-seidel %g vs jacobi %g (rel %g)", name, s, gs[s], ja[s], rel)
+			}
+		}
+	}
+}
+
+// TestJacobiWorkerBitIdentity pins the parallel solve contract: the
+// Jacobi vector is bit-identical at any worker count.
+func TestJacobiWorkerBitIdentity(t *testing.T) {
+	c := streamingChain(t)
+	x1 := steadyOrFatal(t, c, ctmc.SolveOptions{Sweep: ctmc.SweepJacobi, Workers: 1})
+	for _, workers := range []int{2, 4} {
+		xw := steadyOrFatal(t, c, ctmc.SolveOptions{Sweep: ctmc.SweepJacobi, Workers: workers})
+		for s := range x1 {
+			if x1[s] != xw[s] {
+				t.Fatalf("workers=%d: state %d: %v != %v (must be bit-identical)", workers, s, xw[s], x1[s])
+			}
+		}
+	}
+}
+
+// TestJacobiAutoSelection checks the auto mode picks Jacobi above the
+// threshold and still lands on the Gauss-Seidel fixed point.
+func TestJacobiAutoSelection(t *testing.T) {
+	c := rpcChain(t)
+	gs := steadyOrFatal(t, c, ctmc.SolveOptions{Sweep: ctmc.SweepGaussSeidel})
+	// Threshold 2 plus two workers forces every multi-state component
+	// through Jacobi (auto requires both the size and a real pool).
+	auto := steadyOrFatal(t, c, ctmc.SolveOptions{JacobiThreshold: 2, Workers: 2})
+	ja := steadyOrFatal(t, c, ctmc.SolveOptions{Sweep: ctmc.SweepJacobi})
+	for s := range auto {
+		if auto[s] != ja[s] {
+			t.Fatalf("state %d: auto %v != forced jacobi %v", s, auto[s], ja[s])
+		}
+		if rel := math.Abs(auto[s]-gs[s]) / math.Max(math.Abs(gs[s]), 1e-12); rel > 1e-8 {
+			t.Fatalf("state %d: auto %v vs gauss-seidel %v (rel %g)", s, auto[s], gs[s], rel)
+		}
+	}
+}
+
+// TestJacobiConvergenceErrorSweep checks a failing forced-Jacobi solve
+// reports its sweep mode (no silent Gauss-Seidel fallback outside auto).
+func TestJacobiConvergenceErrorSweep(t *testing.T) {
+	c := rpcChain(t)
+	_, err := c.SteadyState(ctmc.SolveOptions{Sweep: ctmc.SweepJacobi, MaxIterations: 2})
+	if !errors.Is(err, ctmc.ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+	var ce *ctmc.ConvergenceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ConvergenceError, got %T", err)
+	}
+	if ce.Sweep != ctmc.SweepJacobi {
+		t.Fatalf("Sweep = %v, want jacobi", ce.Sweep)
+	}
+	if ce.Iterations != 2 {
+		t.Fatalf("Iterations = %d, want 2", ce.Iterations)
+	}
+}

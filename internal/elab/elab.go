@@ -115,7 +115,14 @@ type nodeInfo struct {
 	behavior *aemilia.Behavior
 }
 
-// Model is an elaborated architectural description.
+// Model is an elaborated architectural description. It is immutable once
+// Elaborate returns — labels, roles, and node tables are precomputed and
+// never written again — so a single Model may be shared by any number of
+// goroutines: Successors, LocalMoves, LocallyEnabled, Describe, and
+// DecodeKey are safe to call concurrently, and AppendKey is safe as long
+// as each goroutine appends into its own buffer. The parallel state-space
+// generator (internal/lts) and the simulator's replication pool
+// (internal/sim) both rely on this contract.
 type Model struct {
 	arch  *aemilia.ArchiType
 	insts []instance

@@ -51,7 +51,9 @@ func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 			return BatteryPoint{}, err
 		}
 		measures := models.RPCMeasures(p)
-		l, err := lts.Generate(m, lts.GenerateOptions{Predicates: measure.StatePreds(measures)})
+		gen := genOpts()
+		gen.Predicates = measure.StatePreds(measures)
+		l, err := lts.Generate(m, gen)
 		if err != nil {
 			return BatteryPoint{}, err
 		}

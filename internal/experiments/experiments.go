@@ -57,7 +57,7 @@ func RPCNoninterferenceSimplified() (*Sect3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Phase1(a, rpcSpec(), lts.GenerateOptions{})
+	rep, err := core.Phase1(a, rpcSpec(), genOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,7 @@ func RPCNoninterferenceRevised() (*Sect3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Phase1(a, rpcSpec(), lts.GenerateOptions{})
+	rep, err := core.Phase1(a, rpcSpec(), genOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +107,7 @@ func StreamingNoninterference(scale Scale) (*Sect3Result, error) {
 	rep, err := core.Phase1(a, noninterference.Spec{
 		High: lts.LabelMatcherByNames(models.StreamingHighLabels()...),
 		Low:  lts.LabelMatcherByInstance("C"),
-	}, lts.GenerateOptions{})
+	}, genOpts())
 	if err != nil {
 		return nil, err
 	}

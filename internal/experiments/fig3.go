@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/core"
-	"repro/internal/lts"
 	"repro/internal/models"
 )
 
@@ -54,7 +53,7 @@ func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep0, err := core.Phase2Model(m0, models.RPCMeasures(p0), lts.GenerateOptions{})
+	rep0, err := core.Phase2ModelSolve(m0, models.RPCMeasures(p0), genOpts(), solveOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +66,7 @@ func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 		if err != nil {
 			return RPCPoint{}, err
 		}
-		rep, err := core.Phase2Model(m, models.RPCMeasures(p), lts.GenerateOptions{})
+		rep, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
 		if err != nil {
 			return RPCPoint{}, err
 		}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/core"
-	"repro/internal/lts"
 	"repro/internal/models"
 )
 
@@ -73,7 +72,7 @@ func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep0, err := core.Phase2Model(m0, models.StreamingMeasures(p0), lts.GenerateOptions{})
+	rep0, err := core.Phase2ModelSolve(m0, models.StreamingMeasures(p0), genOpts(), solveOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +85,7 @@ func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
 		if err != nil {
 			return StreamingPoint{}, err
 		}
-		rep, err := core.Phase2Model(m, models.StreamingMeasures(p), lts.GenerateOptions{})
+		rep, err := core.Phase2ModelSolve(m, models.StreamingMeasures(p), genOpts(), solveOpts())
 		if err != nil {
 			return StreamingPoint{}, err
 		}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/core"
-	"repro/internal/lts"
 	"repro/internal/models"
 	"repro/internal/stats"
 )
@@ -45,7 +44,7 @@ func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]Validation
 		if err != nil {
 			return 0, stats.Interval{}, err
 		}
-		exact, err := core.Phase2Model(m, models.RPCMeasures(p), lts.GenerateOptions{})
+		exact, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
 		if err != nil {
 			return 0, stats.Interval{}, err
 		}

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ctmc"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
@@ -114,5 +117,118 @@ func TestGoldenExperimentOutputs(t *testing.T) {
 			}
 		}
 		t.Fatalf("experiment outputs differ from %s (run with -update to regenerate)", goldenPath)
+	}
+}
+
+// collectMarkovian runs the purely Markovian experiments (no simulation)
+// with the given worker count and forced solver sweep mode.
+func collectMarkovian(t *testing.T, workers int, sweep ctmc.Sweep) map[string]json.RawMessage {
+	t.Helper()
+	oldWorkers, oldSolve := DefaultWorkers, DefaultSolve
+	DefaultWorkers = workers
+	DefaultSolve = ctmc.SolveOptions{Sweep: sweep}
+	defer func() { DefaultWorkers, DefaultSolve = oldWorkers, oldSolve }()
+
+	out := make(map[string]json.RawMessage)
+	record := func(name string, v any, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s (%s): %v", name, sweep, err)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		out[name] = raw
+	}
+	v1, err := Fig3Markov([]float64{0.5, 5, 25})
+	record("fig3_markov", v1, err)
+	v2, err := Fig4Markov([]float64{50, 400}, Quick)
+	record("fig4_markov", v2, err)
+	v3, err := PolicyComparison(5)
+	record("policy_comparison", v3, err)
+	return out
+}
+
+// approxEqualJSON compares two JSON documents structurally, requiring
+// numbers to agree within relative tolerance and everything else to be
+// equal.
+func approxEqualJSON(t *testing.T, name string, a, b json.RawMessage, tol float64) {
+	t.Helper()
+	var va, vb any
+	if err := json.Unmarshal(a, &va); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &vb); err != nil {
+		t.Fatal(err)
+	}
+	var walk func(path string, x, y any)
+	walk = func(path string, x, y any) {
+		switch xv := x.(type) {
+		case float64:
+			yv, ok := y.(float64)
+			if !ok {
+				t.Fatalf("%s%s: number vs %T", name, path, y)
+			}
+			diff := math.Abs(xv - yv)
+			if rel := diff / math.Max(math.Abs(xv), 1e-12); rel > tol && diff > 1e-12 {
+				t.Errorf("%s%s: %g vs %g (rel %g > %g)", name, path, xv, yv, rel, tol)
+			}
+		case map[string]any:
+			yv, ok := y.(map[string]any)
+			if !ok || len(xv) != len(yv) {
+				t.Fatalf("%s%s: object shape differs", name, path)
+			}
+			for k := range xv {
+				walk(path+"."+k, xv[k], yv[k])
+			}
+		case []any:
+			yv, ok := y.([]any)
+			if !ok || len(xv) != len(yv) {
+				t.Fatalf("%s%s: array shape differs", name, path)
+			}
+			for i := range xv {
+				walk(path+"["+strconv.Itoa(i)+"]", xv[i], yv[i])
+			}
+		default:
+			if x != y {
+				t.Errorf("%s%s: %v vs %v", name, path, x, y)
+			}
+		}
+	}
+	walk("", va, vb)
+}
+
+// TestGoldenSolverSweepModes pins the solver-side determinism contract on
+// the Markovian slice of the golden suite: each sweep mode produces
+// bit-identical JSON at workers 1 and 8, the forced Gauss-Seidel run
+// matches the auto-selected quick-suite results byte for byte (the quick
+// components sit below the Jacobi threshold), and the two sweep modes
+// agree within solver tolerance.
+func TestGoldenSolverSweepModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite is not short")
+	}
+	gs1 := collectMarkovian(t, 1, ctmc.SweepGaussSeidel)
+	gs8 := collectMarkovian(t, 8, ctmc.SweepGaussSeidel)
+	ja1 := collectMarkovian(t, 1, ctmc.SweepJacobi)
+	ja8 := collectMarkovian(t, 8, ctmc.SweepJacobi)
+	auto1 := collectMarkovian(t, 1, ctmc.SweepAuto)
+
+	for name, want := range gs1 {
+		if !bytes.Equal(gs8[name], want) {
+			t.Errorf("%s: gauss-seidel differs between workers 1 and 8", name)
+		}
+		if !bytes.Equal(auto1[name], want) {
+			t.Errorf("%s: auto mode differs from gauss-seidel on the quick suite", name)
+		}
+	}
+	for name, want := range ja1 {
+		if !bytes.Equal(ja8[name], want) {
+			t.Errorf("%s: jacobi differs between workers 1 and 8", name)
+		}
+	}
+	for name := range gs1 {
+		approxEqualJSON(t, name, gs1[name], ja1[name], 1e-6)
 	}
 }

@@ -7,17 +7,45 @@ import (
 
 	"repro/internal/aemilia"
 	"repro/internal/core"
+	"repro/internal/ctmc"
 	"repro/internal/elab"
+	"repro/internal/lts"
 	"repro/internal/models"
 )
 
 // DefaultWorkers is the sweep concurrency used when a caller does not set
 // core.SimSettings.Workers (and by the Markovian sweeps, which carry no
-// settings). The cmd/ tools override it from their -workers flag. Every
-// sweep merges its results in point order and every simulation assigns
-// replication-indexed random streams, so results are bit-identical at any
+// settings). It also feeds the per-point state-space generation pool
+// (lts.GenerateOptions.GenWorkers) and the steady-state solver pool
+// (ctmc.SolveOptions.Workers). The cmd/ tools override it from their
+// -workers flag. Every sweep merges its results in point order, every
+// simulation assigns replication-indexed random streams, and generation
+// and solve merge in canonical order, so results are bit-identical at any
 // value.
 var DefaultWorkers = runtime.NumCPU()
+
+// DefaultSolve is the steady-state solver configuration used by the
+// Markovian sweeps. The golden tests force a sweep mode through it; the
+// zero value lets the solver auto-select (Gauss-Seidel below the Jacobi
+// threshold, parallel Jacobi above).
+var DefaultSolve ctmc.SolveOptions
+
+// genOpts is the generation configuration the sweeps hand to lts.Generate
+// and core.Phase2ModelSolve: the package worker default applied to the
+// frontier-expansion pool.
+func genOpts() lts.GenerateOptions {
+	return lts.GenerateOptions{GenWorkers: workersOr(0)}
+}
+
+// solveOpts is the solver configuration the Markovian sweeps use: the
+// package sweep-mode default with the worker default applied.
+func solveOpts() ctmc.SolveOptions {
+	s := DefaultSolve
+	if s.Workers <= 0 {
+		s.Workers = workersOr(0)
+	}
+	return s
+}
 
 // workersOr resolves an explicit worker count against the package
 // default.

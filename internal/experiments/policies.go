@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"repro/internal/core"
-	"repro/internal/lts"
 	"repro/internal/models"
 )
 
@@ -35,7 +34,7 @@ func PolicyComparison(timeout float64) ([]PolicyPoint, error) {
 		if err != nil {
 			return PolicyPoint{}, err
 		}
-		rep, err := core.Phase2Model(m, models.RPCMeasures(p), lts.GenerateOptions{})
+		rep, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
 		if err != nil {
 			return PolicyPoint{}, err
 		}

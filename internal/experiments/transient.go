@@ -40,9 +40,9 @@ func StreamingStartupTransient(times []float64, awakePeriod float64, scale Scale
 		if err != nil {
 			return nil, err
 		}
-		l, err := lts.Generate(m, lts.GenerateOptions{
-			Predicates: []lts.StatePred{{Instance: "B", Action: "miss_frame"}},
-		})
+		gen := genOpts()
+		gen.Predicates = []lts.StatePred{{Instance: "B", Action: "miss_frame"}}
+		l, err := lts.Generate(m, gen)
 		if err != nil {
 			return nil, err
 		}

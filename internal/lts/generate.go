@@ -2,6 +2,9 @@ package lts
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/elab"
 	"repro/internal/statespace"
@@ -23,6 +26,9 @@ func (p StatePred) Name() string { return p.Instance + "." + p.Action }
 // GenerateOptions tunes state-space generation.
 type GenerateOptions struct {
 	// MaxStates aborts generation when exceeded (0 = default 2_000_000).
+	// The bound is enforced at intern time: generation fails the moment a
+	// fresh state beyond the limit is discovered, so the state table never
+	// overshoots it.
 	MaxStates int
 	// KeepDescriptions is kept for compatibility; state descriptions are
 	// now always available lazily (rendered on demand from the interned
@@ -30,12 +36,21 @@ type GenerateOptions struct {
 	KeepDescriptions bool
 	// Predicates are evaluated in every state and stored in the LTS.
 	Predicates []StatePred
+	// GenWorkers bounds the generation worker pool: each BFS frontier is
+	// expanded by this many workers and merged in source order, and the
+	// predicate columns are sharded the same way. 0 uses GOMAXPROCS; 1
+	// runs sequentially. The generated LTS — state numbering, transition
+	// order, predicate columns — is bit-identical at any value.
+	GenWorkers int
 }
 
 // TooManyStatesError reports that generation exceeded MaxStates.
 type TooManyStatesError struct {
 	// Limit is the configured bound.
 	Limit int
+	// States is the number of states interned when generation aborted;
+	// the intern-time check guarantees States == Limit (no overshoot).
+	States int
 }
 
 // Error implements error.
@@ -43,27 +58,99 @@ func (e *TooManyStatesError) Error() string {
 	return fmt.Sprintf("lts: state space exceeds %d states", e.Limit)
 }
 
+// genChunk is the number of frontier states a worker claims at a time;
+// it only balances load and never affects the generated LTS.
+const genChunk = 32
+
+// minParallelFrontier is the frontier size below which a level is
+// expanded inline: narrow start-up levels are not worth a pool dispatch.
+const minParallelFrontier = 2 * genChunk
+
+// parFor runs fn over [0, n) on a pool of workers claiming ascending
+// fixed-size chunks. On failure the pool stops claiming new chunks, every
+// claimed chunk still runs up to its own first failure, and parFor
+// returns the lowest failing index with its error — the failure a
+// sequential loop over [0, n) would have hit first. Because chunks are
+// claimed in ascending order, every index below the returned one has been
+// processed successfully.
+func parFor(n, workers int, fn func(i int) error) (int, error) {
+	type failure struct {
+		idx int
+		err error
+	}
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		stop  atomic.Bool
+		fails = make([]failure, workers)
+	)
+	for w := 0; w < workers; w++ {
+		fails[w].idx = n
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				lo := int(next.Add(genChunk)) - genChunk
+				if lo >= n {
+					return
+				}
+				hi := lo + genChunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if err := fn(i); err != nil {
+						fails[w] = failure{idx: i, err: err}
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	first := failure{idx: n}
+	for _, f := range fails {
+		if f.err != nil && f.idx < first.idx {
+			first = f
+		}
+	}
+	return first.idx, first.err
+}
+
 // Generate explores the reachable state space of an elaborated model and
-// returns it as an explicit LTS. Exploration is breadth-first over states
-// interned in an arena-backed table, so state indices are stable across
-// runs for a given model and re-visiting a known state allocates nothing.
+// returns it as an explicit LTS. Exploration is a level-synchronized
+// breadth-first search: each frontier level is expanded by a worker pool
+// (opts.GenWorkers) into private buffers — elab.Model is immutable after
+// elaboration, so Successors is safe to call concurrently — and the
+// successor lists are then merged in source order into an arena-backed
+// intern table. The merge funnels every intern through one goroutine, so
+// dense state identifiers and the CSR edge order are the ones a
+// sequential run assigns, bit for bit, at any worker count.
 func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = 2_000_000
+	}
+	workers := opts.GenWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	in := statespace.NewInterner()
 	var states []elab.State
 	keyBuf := make([]byte, 0, 64)
 
-	intern := func(s elab.State) (uint32, bool) {
+	intern := func(s elab.State) (uint32, error) {
 		keyBuf = m.AppendKey(keyBuf[:0], s)
 		id, fresh := in.Intern(keyBuf)
 		if fresh {
+			if len(states) >= maxStates {
+				return 0, &TooManyStatesError{Limit: maxStates, States: len(states)}
+			}
 			states = append(states, s)
 		}
-		return id, fresh
+		return id, nil
 	}
 
 	s0 := m.Initial()
@@ -71,23 +158,23 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		// Surface composition errors (e.g. active-active sync) immediately.
 		return nil, err
 	}
-	intern(s0)
+	if _, err := intern(s0); err != nil {
+		return nil, err
+	}
 
 	l := NewShared(0, statespace.NewSymbols())
 	l.Initial = 0
 	edges := make([]statespace.Edge, 0, 1024)
 
-	for qi := 0; qi < len(states); qi++ {
-		if len(states) > maxStates {
-			return nil, &TooManyStatesError{Limit: maxStates}
-		}
-		src := states[qi]
-		ts, err := m.Successors(src)
-		if err != nil {
-			return nil, fmt.Errorf("lts: expanding state %s: %w", m.Describe(src), err)
-		}
+	// merge folds the successor list of one source state into the shared
+	// tables, in the source's BFS position — the only place states and
+	// edges are appended.
+	merge := func(qi int, ts []elab.Transition) error {
 		for _, tr := range ts {
-			dst, _ := intern(tr.Next)
+			dst, err := intern(tr.Next)
+			if err != nil {
+				return err
+			}
 			edges = append(edges, statespace.Edge{
 				Src:   int32(qi),
 				Dst:   int32(dst),
@@ -95,6 +182,55 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 				Rate:  tr.Rate,
 			})
 		}
+		return nil
+	}
+
+	expandErr := func(src elab.State, err error) error {
+		return fmt.Errorf("lts: expanding state %s: %w", m.Describe(src), err)
+	}
+
+	for levelStart := 0; levelStart < len(states); {
+		levelEnd := len(states)
+		n := levelEnd - levelStart
+		if workers == 1 || n < minParallelFrontier {
+			// Narrow frontier: expand and merge inline. The merge order is
+			// the same either way, so mixing inline and pooled levels does
+			// not perturb the numbering.
+			for qi := levelStart; qi < levelEnd; qi++ {
+				ts, err := m.Successors(states[qi])
+				if err != nil {
+					return nil, expandErr(states[qi], err)
+				}
+				if err := merge(qi, ts); err != nil {
+					return nil, err
+				}
+			}
+			levelStart = levelEnd
+			continue
+		}
+		// Wide frontier: expand on the pool into per-source buffers, then
+		// merge in source order. parFor guarantees every source below its
+		// reported failure has a complete buffer, so the merge observes
+		// exactly the prefix a sequential run would have processed.
+		results := make([][]elab.Transition, n)
+		frontier := states[levelStart:levelEnd]
+		failIdx, failErr := parFor(n, workers, func(i int) error {
+			ts, err := m.Successors(frontier[i])
+			if err != nil {
+				return err
+			}
+			results[i] = ts
+			return nil
+		})
+		for i := 0; i < n; i++ {
+			if i == failIdx {
+				return nil, expandErr(frontier[i], failErr)
+			}
+			if err := merge(levelStart+i, results[i]); err != nil {
+				return nil, err
+			}
+		}
+		levelStart = levelEnd
 	}
 	l.NumStates = len(states)
 	l.setCSR(statespace.Build(l.NumStates, edges))
@@ -116,12 +252,29 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		for p, pred := range opts.Predicates {
 			l.PredNames[p] = pred.Name()
 			col := make([]bool, len(states))
-			for i, s := range states {
-				ok, err := m.LocallyEnabled(s, pred.Instance, pred.Action)
+			eval := func(i int) error {
+				ok, err := m.LocallyEnabled(states[i], pred.Instance, pred.Action)
 				if err != nil {
-					return nil, fmt.Errorf("lts: predicate %s: %w", pred.Name(), err)
+					return err
 				}
 				col[i] = ok
+				return nil
+			}
+			var err error
+			if workers == 1 || len(states) < minParallelFrontier {
+				for i := range states {
+					if err = eval(i); err != nil {
+						break
+					}
+				}
+			} else {
+				// Each column cell is written by exactly one worker; the
+				// column is a pure function of the state set, so sharding
+				// cannot perturb it.
+				_, err = parFor(len(states), workers, eval)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("lts: predicate %s: %w", pred.Name(), err)
 			}
 			l.Preds[p] = col
 		}

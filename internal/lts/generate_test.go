@@ -1,0 +1,150 @@
+package lts
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/aemilia"
+	"repro/internal/elab"
+	"repro/internal/expr"
+	"repro/internal/rates"
+)
+
+// gridModel composes two independent producer/buffer/consumer triples, so
+// the BFS frontier grows to O(capacity) states wide — wide enough to
+// exercise the parallel frontier expansion (the single-buffer models never
+// exceed a frontier of two).
+func gridModel(t *testing.T, capacity int64) *elab.Model {
+	t.Helper()
+	buf := aemilia.NewElemType("Buffer_Type",
+		[]string{"put"}, []string{"get"},
+		aemilia.NewBehavior("Buffer", []aemilia.Param{aemilia.IntParam("n")},
+			aemilia.Ch(
+				aemilia.When(expr.Bin(expr.OpLt, expr.Ref("n"), expr.Int(capacity)),
+					aemilia.Pre("put", rates.PassiveRate(),
+						aemilia.Invoke("Buffer", expr.Bin(expr.OpAdd, expr.Ref("n"), expr.Int(1))))),
+				aemilia.When(expr.Bin(expr.OpGt, expr.Ref("n"), expr.Int(0)),
+					aemilia.Pre("get", rates.PassiveRate(),
+						aemilia.Invoke("Buffer", expr.Bin(expr.OpSub, expr.Ref("n"), expr.Int(1))))),
+			)))
+	prod := aemilia.NewElemType("Prod_Type", nil, []string{"put"},
+		aemilia.NewBehavior("P", nil,
+			aemilia.Pre("put", rates.ExpRate(2), aemilia.Invoke("P"))))
+	cons := aemilia.NewElemType("Cons_Type", []string{"get"}, nil,
+		aemilia.NewBehavior("C", nil,
+			aemilia.Pre("get", rates.ExpRate(3), aemilia.Invoke("C"))))
+	a := aemilia.NewArchiType("Grid",
+		[]*aemilia.ElemType{buf, prod, cons},
+		[]*aemilia.Instance{
+			aemilia.NewInstance("B1", "Buffer_Type", expr.Int(0)),
+			aemilia.NewInstance("P1", "Prod_Type"),
+			aemilia.NewInstance("C1", "Cons_Type"),
+			aemilia.NewInstance("B2", "Buffer_Type", expr.Int(0)),
+			aemilia.NewInstance("P2", "Prod_Type"),
+			aemilia.NewInstance("C2", "Cons_Type"),
+		},
+		[]aemilia.Attachment{
+			aemilia.Attach("P1", "put", "B1", "put"),
+			aemilia.Attach("B1", "get", "C1", "get"),
+			aemilia.Attach("P2", "put", "B2", "put"),
+			aemilia.Attach("B2", "get", "C2", "get"),
+		})
+	return mustModel(t, a)
+}
+
+type flatEdge struct {
+	src, dst int
+	label    string
+	rate     rates.Rate
+}
+
+func flatten(l *LTS) []flatEdge {
+	var out []flatEdge
+	l.Edges(func(src, dst, label int, r rates.Rate) {
+		out = append(out, flatEdge{src, dst, l.LabelName(label), r})
+	})
+	return out
+}
+
+// TestGenerateParallelBitIdentity pins the tentpole contract: the LTS
+// generated with a worker pool is identical — state numbering, edge order,
+// labels, rates, predicate columns — to the sequential one.
+func TestGenerateParallelBitIdentity(t *testing.T) {
+	preds := []StatePred{
+		{Instance: "B1", Action: "put"},
+		{Instance: "B2", Action: "get"},
+	}
+	gen := func(workers int) *LTS {
+		l, err := Generate(gridModel(t, 40), GenerateOptions{
+			Predicates: preds,
+			GenWorkers: workers,
+		})
+		if err != nil {
+			t.Fatalf("Generate(workers=%d): %v", workers, err)
+		}
+		return l
+	}
+	seq := gen(1)
+	// 41*41 buffer fill combinations: frontiers reach width ~80, well past
+	// the inline-expansion threshold.
+	if seq.NumStates != 41*41 {
+		t.Fatalf("NumStates = %d, want %d", seq.NumStates, 41*41)
+	}
+	seqEdges := flatten(seq)
+	for _, workers := range []int{2, 8} {
+		par := gen(workers)
+		if par.NumStates != seq.NumStates {
+			t.Fatalf("workers=%d: NumStates = %d, want %d", workers, par.NumStates, seq.NumStates)
+		}
+		parEdges := flatten(par)
+		if len(parEdges) != len(seqEdges) {
+			t.Fatalf("workers=%d: %d edges, want %d", workers, len(parEdges), len(seqEdges))
+		}
+		for i := range seqEdges {
+			if parEdges[i] != seqEdges[i] {
+				t.Fatalf("workers=%d: edge %d = %+v, want %+v", workers, i, parEdges[i], seqEdges[i])
+			}
+		}
+		for _, p := range preds {
+			for s := 0; s < seq.NumStates; s++ {
+				sv, err1 := seq.Pred(p.Name(), s)
+				pv, err2 := par.Pred(p.Name(), s)
+				if err1 != nil || err2 != nil || sv != pv {
+					t.Fatalf("workers=%d: pred %s state %d: seq (%t,%v) par (%t,%v)",
+						workers, p.Name(), s, sv, err1, pv, err2)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateMaxStatesExactCount pins the intern-time MaxStates bound:
+// generation aborts with exactly Limit states interned — never an extra
+// frontier — at any worker count.
+func TestGenerateMaxStatesExactCount(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		_, err := Generate(gridModel(t, 40), GenerateOptions{
+			MaxStates:  100,
+			GenWorkers: workers,
+		})
+		var tms *TooManyStatesError
+		if !errors.As(err, &tms) {
+			t.Fatalf("workers=%d: want TooManyStatesError, got %v", workers, err)
+		}
+		if tms.Limit != 100 || tms.States != 100 {
+			t.Fatalf("workers=%d: Limit=%d States=%d, want 100/100", workers, tms.Limit, tms.States)
+		}
+	}
+}
+
+// TestGenerateMaxStatesExactFit checks the bound is not off by one: a
+// state space of exactly MaxStates states generates successfully.
+func TestGenerateMaxStatesExactFit(t *testing.T) {
+	l, err := Generate(bufferModel(t, 5), GenerateOptions{MaxStates: 6})
+	if err != nil {
+		t.Fatalf("MaxStates == state count must succeed, got %v", err)
+	}
+	if l.NumStates != 6 {
+		t.Fatalf("NumStates = %d, want 6", l.NumStates)
+	}
+}

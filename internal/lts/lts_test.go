@@ -119,6 +119,9 @@ func TestGenerateMaxStates(t *testing.T) {
 	if ok := errorsAs(err, &tms); !ok || tms.Limit != 10 {
 		t.Fatalf("limit not propagated: %v", err)
 	}
+	if tms.States != 10 {
+		t.Fatalf("States = %d, want exactly the limit (no overshoot)", tms.States)
+	}
 }
 
 func errorsAs(err error, target any) bool {

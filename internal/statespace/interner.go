@@ -8,6 +8,13 @@ import "bytes"
 // of a hit is one hash, one probe chain, and one byte comparison — no
 // allocation and no per-key string header. Identifiers are assigned in
 // first-intern order.
+//
+// An Interner is single-writer: it is not safe for concurrent Intern
+// calls. The parallel state-space generator keeps this invariant by
+// funneling every intern through its sequential merge step — which is
+// also what makes the assigned identifiers independent of the worker
+// count (first-intern order is merge order, and merge order is BFS
+// order).
 type Interner struct {
 	slab  []byte
 	offs  []uint32 // offs[id]..offs[id+1] is the key of id; len = Len()+1

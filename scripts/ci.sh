@@ -31,4 +31,12 @@ go test -race ./...
 echo "== bench smoke =="
 go test -run '^$' -bench . -benchtime 1x ./...
 
+# Race smoke of the parallel hot paths at -cpu 1,2: the worker-pooled
+# state-space generation, the Jacobi solver pool, and the sweep/simulation
+# pools each run one iteration under the race detector on both the
+# degenerate and a two-core schedule (plain -race tests cover GOMAXPROCS
+# as-is only).
+echo "== bench race smoke (-cpu 1,2) =="
+scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)'
+
 echo "CI OK"
