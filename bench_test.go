@@ -440,3 +440,64 @@ func BenchmarkSteadyStateJacobiSequential(b *testing.B) {
 func BenchmarkSteadyStateJacobiParallel(b *testing.B) {
 	benchSteadyState(b, ctmc.SolveOptions{Sweep: ctmc.SweepJacobi, Workers: runtime.NumCPU()})
 }
+
+// --- Rate-parametric sweep: per-point fresh pipeline vs generate-once rebind ---
+//
+// The Fig. 3 timeout sweep, measured both ways over the same six points:
+// Fresh runs the full generate+build+solve pipeline per point (the
+// pre-sweep-engine behaviour), Rebind generates and builds once, rewrites
+// the rates per point and warm-starts the solver from the anchor solution
+// (core.Phase2Sweep). Both iterate the same number of points, so the
+// ns/op ratio is the per-point speedup recorded in
+// results/BENCH_sweepreuse.json. Elaboration is outside the timer in both
+// cases: the delta under test is the phase-2 pipeline, not the AST walk.
+
+var sweepReuseTimeouts = []float64{0.5, 1, 2, 5, 10, 25}
+
+func BenchmarkSweepReuseFresh(b *testing.B) {
+	ms := make([]*elab.Model, len(sweepReuseTimeouts))
+	for i, T := range sweepReuseTimeouts {
+		p := models.DefaultRPCParams()
+		p.ShutdownTimeout = T
+		a, err := models.BuildRPCRevised(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms[i], err = elab.Elaborate(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	measures := models.RPCMeasures(models.DefaultRPCParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range ms {
+			if _, err := core.Phase2ModelSolve(m, measures, lts.GenerateOptions{}, ctmc.SolveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepReuseRebind(b *testing.B) {
+	p := models.DefaultRPCParams()
+	p.ParametricTimeout = true
+	a, err := models.BuildRPCRevised(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	measures := models.RPCMeasures(p)
+	points := make([][]float64, len(sweepReuseTimeouts))
+	for i, T := range sweepReuseTimeouts {
+		points[i] = []float64{1 / T}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Phase2Sweep(m, measures, points, core.SweepOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

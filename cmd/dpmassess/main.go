@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/aemilia/parser"
@@ -84,9 +85,15 @@ func runMC(args []string) error {
 	formulaText := fs.String("formula", "", "formula in TwoTowers diagnostic syntax")
 	hideExcept := fs.String("hide-except", "", "hide every label not involving this instance (observation window)")
 	workers := workersFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -121,9 +128,15 @@ func runEquiv(args []string) error {
 	fs := flag.NewFlagSet("equiv", flag.ContinueOnError)
 	relName := fs.String("relation", "weak", "equivalence relation (strong, weak, markovian)")
 	workers := workersFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if fs.NArg() != 2 {
 		return fmt.Errorf("equiv expects two model files")
 	}
@@ -169,9 +182,15 @@ func runMinimize(args []string) error {
 	relName := fs.String("relation", "weak", "equivalence relation (strong, weak, markovian)")
 	dotPath := fs.String("dot", "", "write the quotient in Graphviz DOT format")
 	workers := workersFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -215,6 +234,60 @@ func workersFlag(fs *flag.FlagSet) *int {
 		"state-space generation workers (outputs are identical at any value)")
 }
 
+// profFlags carries the shared -cpuprofile/-memprofile flags.
+type profFlags struct {
+	cpu, mem *string
+}
+
+// profileFlags registers the shared profiling flags, so any subcommand
+// can record where its time and memory go (`go tool pprof` reads the
+// output).
+func profileFlags(fs *flag.FlagSet) profFlags {
+	return profFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling when requested and returns the function that
+// stops it and writes the heap profile; defer it around the subcommand's
+// work. Profile-write failures on the way out are reported as warnings:
+// the analysis result is the product, the profile a diagnostic.
+func (p profFlags) start() (func(), error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dpmassess: cpu profile:", err)
+			}
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dpmassess: heap profile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dpmassess: heap profile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
 // loadLTS parses a model file and generates its state space on the given
 // worker pool.
 func loadLTS(path string, workers int) (*lts.LTS, error) {
@@ -250,9 +323,15 @@ func runLTS(args []string) error {
 	autPath := fs.String("aut", "", "write the state space in Aldebaran (CADP) format")
 	maxStates := fs.Int("max", 0, "abort beyond this many states (0 = default bound)")
 	workers := workersFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -306,9 +385,15 @@ func runCheck(args []string) error {
 	low := fs.String("low", "", "low instance (its actions are the observables)")
 	highLabels := fs.String("high-labels", "", "comma-separated explicit high labels (overrides -high)")
 	workers := workersFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -364,9 +449,15 @@ func runSolve(args []string) error {
 	sweepName := fs.String("sweep", "auto",
 		"steady-state sweep mode: auto, gauss-seidel, or jacobi")
 	workers := workersFlag(fs)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -416,9 +507,15 @@ func runSim(args []string) error {
 	level := fs.Float64("confidence", 0.90, "confidence level")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"concurrent replications (estimates are identical at any value)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	path, err := positional(fs)
 	if err != nil {
 		return err

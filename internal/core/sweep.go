@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ctmc"
+	"repro/internal/elab"
+	"repro/internal/lts"
+	"repro/internal/measure"
+)
+
+// SweepOptions tunes a rate-parametric Markovian sweep.
+type SweepOptions struct {
+	// Gen tunes state-space generation (done once for the whole sweep).
+	Gen lts.GenerateOptions
+	// Solve tunes the per-point steady-state solver. Its WarmStart field
+	// is managed by the sweep and must be left empty.
+	Solve ctmc.SolveOptions
+	// Workers bounds the number of sweep points solved concurrently
+	// (0 or 1 = sequential). Results are bit-identical at any value.
+	Workers int
+}
+
+// Phase2Sweep runs the Markovian phase over a family of rate assignments
+// of one model: the state space is generated once, the CTMC is built once,
+// and each point rewrites only the rate values (ctmc.Rebind) before
+// solving. points[i] supplies one value per rate slot of the model
+// (points[i][k-1] is the value of slot k), and the reports come back in
+// the same order.
+//
+// The first point is the sweep's anchor: it is solved cold (uniform start)
+// and its solution seeds every other point's solver as a warm start. The
+// seed is a pure function of the input — never of scheduling — and each
+// worker rebinds a private clone of the built chain, so the reports are
+// bit-identical at any worker count. Each point's result equals a fresh
+// generate+build+solve of the same model at that point's rates, up to the
+// solver tolerance (the rebound generator matrix itself is bit-identical
+// to a freshly built one).
+//
+// The model must carry rate slots (elab.Model.NumRateSlots > 0); sweeping
+// a parameter that changes the model's structure needs one generation per
+// point instead.
+func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, opts SweepOptions) ([]*Phase2Report, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	numSlots := m.NumRateSlots()
+	if numSlots == 0 {
+		return nil, fmt.Errorf("core: phase 2 sweep: model has no rate slots; use Phase2ModelSolve per point")
+	}
+	for i, p := range points {
+		if len(p) != numSlots {
+			return nil, fmt.Errorf("core: phase 2 sweep: point %d has %d values, model has %d rate slots", i, len(p), numSlots)
+		}
+	}
+	if len(opts.Solve.WarmStart) != 0 {
+		return nil, fmt.Errorf("core: phase 2 sweep: SolveOptions.WarmStart is managed by the sweep")
+	}
+
+	genOpts := opts.Gen
+	genOpts.Predicates = append(append([]lts.StatePred(nil), genOpts.Predicates...), measure.StatePreds(measures)...)
+	l, err := lts.Generate(m, genOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2 sweep: %w", err)
+	}
+	base, err := ctmc.Build(l)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2 sweep: %w", err)
+	}
+
+	solveAt := func(chain *ctmc.CTMC, point []float64, warm []float64) (*Phase2Report, error) {
+		if err := chain.Rebind(point); err != nil {
+			return nil, err
+		}
+		solve := opts.Solve
+		solve.WarmStart = warm
+		pi, err := chain.SteadyState(solve)
+		if err != nil {
+			return nil, err
+		}
+		values, err := measure.EvalAll(measures, chain, pi)
+		if err != nil {
+			return nil, err
+		}
+		return &Phase2Report{
+			Values:    values,
+			States:    l.NumStates,
+			Tangible:  chain.N,
+			Vanishing: chain.NumVanishing(),
+		}, nil
+	}
+
+	// Anchor: the first point, solved cold on the base chain. Its solution
+	// seeds the warm start of every remaining point.
+	reports := make([]*Phase2Report, len(points))
+	if err := base.Rebind(points[0]); err != nil {
+		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
+	}
+	anchorSolve := opts.Solve
+	anchorPi, err := base.SteadyState(anchorSolve)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
+	}
+	anchorValues, err := measure.EvalAll(measures, base, anchorPi)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
+	}
+	reports[0] = &Phase2Report{
+		Values:    anchorValues,
+		States:    l.NumStates,
+		Tangible:  base.N,
+		Vanishing: base.NumVanishing(),
+	}
+	if len(points) == 1 {
+		return reports, nil
+	}
+
+	workers := opts.Workers
+	if workers <= 1 || len(points) == 2 {
+		// Sequential path: reuse the base chain for every point.
+		for i := 1; i < len(points); i++ {
+			rep, err := solveAt(base, points[i], anchorPi)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", i, err)
+			}
+			reports[i] = rep
+		}
+		return reports, nil
+	}
+
+	// Parallel path: each worker owns a private clone of the built chain
+	// and rebinds it per point. Points are claimed in ascending order; any
+	// failure wins by lowest point index so the reported error matches the
+	// sequential run's.
+	if rest := len(points) - 1; workers > rest {
+		workers = rest
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		next    = 1
+		failIdx = len(points)
+		failErr error
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if failErr != nil || next >= len(points) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failErr == nil || i < failIdx {
+			failIdx, failErr = i, err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chain := base.Clone()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				rep, err := solveAt(chain, points[i], anchorPi)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				reports[i] = rep
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", failIdx, failErr)
+	}
+	return reports, nil
+}

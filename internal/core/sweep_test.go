@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ctmc"
+	"repro/internal/elab"
+	"repro/internal/lts"
+	"repro/internal/measure"
+	"repro/internal/models"
+)
+
+// elaborateRPC elaborates the revised rpc model for the given params.
+func elaborateRPC(t *testing.T, p models.RPCParams) *elab.Model {
+	t.Helper()
+	a, err := models.BuildRPCRevised(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// elaborateStreaming elaborates the streaming model (quick capacities).
+func elaborateStreaming(t *testing.T, p models.StreamingParams) *elab.Model {
+	t.Helper()
+	a, err := models.BuildStreaming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func quickStreamingParams() models.StreamingParams {
+	p := models.DefaultStreamingParams()
+	p.APCapacity, p.ClientCapacity = 3, 3
+	return p
+}
+
+func buildChain(t *testing.T, m *elab.Model) *ctmc.CTMC {
+	t.Helper()
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ctmc.Build(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRebindMatchesFreshBuild pins the heart of the rebind contract: a
+// parametric chain rebound to rate 1/T is bit-identical — generator
+// entries, exit rates — to a fresh build of the non-parametric model at
+// shutdown timeout T, and its steady-state measures match a fresh solve
+// within solver tolerance. Checked for the rpc (timeout) and streaming
+// (awake period) models.
+func TestRebindMatchesFreshBuild(t *testing.T) {
+	type variant struct {
+		name       string
+		parametric func(t *testing.T) *ctmc.CTMC
+		fresh      func(t *testing.T, knob float64) *ctmc.CTMC
+		knobs      []float64
+	}
+	variants := []variant{
+		{
+			name: "rpc-timeout",
+			parametric: func(t *testing.T) *ctmc.CTMC {
+				p := models.DefaultRPCParams()
+				p.ParametricTimeout = true
+				return buildChain(t, elaborateRPC(t, p))
+			},
+			fresh: func(t *testing.T, T float64) *ctmc.CTMC {
+				p := models.DefaultRPCParams()
+				p.ShutdownTimeout = T
+				return buildChain(t, elaborateRPC(t, p))
+			},
+			knobs: []float64{0.5, 5, 25},
+		},
+		{
+			name: "streaming-period",
+			parametric: func(t *testing.T) *ctmc.CTMC {
+				p := quickStreamingParams()
+				p.ParametricPeriod = true
+				return buildChain(t, elaborateStreaming(t, p))
+			},
+			fresh: func(t *testing.T, P float64) *ctmc.CTMC {
+				p := quickStreamingParams()
+				p.AwakePeriod = P
+				return buildChain(t, elaborateStreaming(t, p))
+			},
+			knobs: []float64{50, 400},
+		},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			chain := v.parametric(t)
+			if chain.NumRateSlots() != 1 {
+				t.Fatalf("parametric chain has %d rate slots, want 1", chain.NumRateSlots())
+			}
+			for _, knob := range v.knobs {
+				if err := chain.Rebind([]float64{1 / knob}); err != nil {
+					t.Fatalf("rebind to knob %v: %v", knob, err)
+				}
+				want := v.fresh(t, knob)
+				if chain.N != want.N {
+					t.Fatalf("knob %v: rebound chain has %d states, fresh build %d", knob, chain.N, want.N)
+				}
+				for ci := range want.Rows {
+					if chain.Exit[ci] != want.Exit[ci] {
+						t.Fatalf("knob %v state %d: exit %v != fresh %v", knob, ci, chain.Exit[ci], want.Exit[ci])
+					}
+					a, b := chain.Rows[ci], want.Rows[ci]
+					if len(a) != len(b) {
+						t.Fatalf("knob %v state %d: %d entries != fresh %d", knob, ci, len(a), len(b))
+					}
+					for j := range a {
+						if a[j] != b[j] {
+							t.Fatalf("knob %v state %d entry %d: %+v != fresh %+v", knob, ci, j, a[j], b[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRebindStructuralErrors pins the error contract: rebinding to a
+// value that would change the chain's structure (zero, negative, NaN or
+// infinite rate) is rejected with ErrStructuralRebind, a length mismatch
+// with a *RebindError, and the chain is untouched either way. A chain
+// built without slots rejects any non-empty rebind.
+func TestRebindStructuralErrors(t *testing.T) {
+	p := models.DefaultRPCParams()
+	p.ParametricTimeout = true
+	chain := buildChain(t, elaborateRPC(t, p))
+	if err := chain.Rebind([]float64{1.0 / 5}); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]float64, chain.N)
+	copy(before, chain.Exit)
+
+	for _, bad := range [][]float64{
+		{0}, {-1}, {math.NaN()}, {math.Inf(1)},
+	} {
+		err := chain.Rebind(bad)
+		if err == nil {
+			t.Fatalf("rebind to %v should fail", bad)
+		}
+		if !errors.Is(err, ctmc.ErrStructuralRebind) {
+			t.Errorf("rebind to %v: error %v should wrap ErrStructuralRebind", bad, err)
+		}
+	}
+	for _, bad := range [][]float64{nil, {}, {1, 2}} {
+		err := chain.Rebind(bad)
+		if err == nil {
+			t.Fatalf("rebind with %d values should fail", len(bad))
+		}
+		var re *ctmc.RebindError
+		if !errors.As(err, &re) {
+			t.Errorf("rebind with %d values: got %T, want *RebindError", len(bad), err)
+		}
+		if errors.Is(err, ctmc.ErrStructuralRebind) {
+			t.Errorf("length mismatch should not claim a structural change: %v", err)
+		}
+	}
+	for ci, e := range chain.Exit {
+		if e != before[ci] {
+			t.Fatalf("failed rebinds must leave the chain untouched (state %d: %v != %v)", ci, e, before[ci])
+		}
+	}
+
+	plain := buildChain(t, elaborateRPC(t, models.DefaultRPCParams()))
+	if plain.NumRateSlots() != 0 {
+		t.Fatalf("non-parametric chain reports %d slots", plain.NumRateSlots())
+	}
+	if err := plain.Rebind([]float64{1}); err == nil {
+		t.Fatal("rebinding a slot-free chain should fail")
+	}
+	if err := plain.Rebind(nil); err != nil {
+		t.Fatalf("empty rebind of a slot-free chain is a no-op, got %v", err)
+	}
+}
+
+// TestPhase2SweepDeterministicAndFresh checks the sweep engine on the rpc
+// model: reports are bit-identical at 1 and 8 workers, and every point
+// matches an independent per-point Phase2ModelSolve within solver
+// tolerance (the sweep warm-starts from the anchor, so the iteration
+// trajectory — not the fixed point — differs).
+func TestPhase2SweepDeterministicAndFresh(t *testing.T) {
+	pp := models.DefaultRPCParams()
+	pp.ParametricTimeout = true
+	m := elaborateRPC(t, pp)
+	measures := models.RPCMeasures(pp)
+	timeouts := []float64{0.5, 2, 5, 10, 25}
+	points := make([][]float64, len(timeouts))
+	for i, T := range timeouts {
+		points[i] = []float64{1 / T}
+	}
+
+	var byWorkers [][]*Phase2Report
+	for _, workers := range []int{1, 8} {
+		reps, err := Phase2Sweep(m, measures, points, SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		byWorkers = append(byWorkers, reps)
+	}
+	for i := range points {
+		a, b := byWorkers[0][i].Values, byWorkers[1][i].Values
+		for name, va := range a {
+			if vb := b[name]; va != vb {
+				t.Errorf("point %d measure %s: workers=1 %v != workers=8 %v (must be bit-identical)", i, name, va, vb)
+			}
+		}
+	}
+
+	for i, T := range timeouts {
+		p := models.DefaultRPCParams()
+		p.ShutdownTimeout = T
+		fresh, err := Phase2ModelSolve(elaborateRPC(t, p), models.RPCMeasures(p), lts.GenerateOptions{}, ctmc.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, want := range fresh.Values {
+			got := byWorkers[0][i].Values[name]
+			rel := math.Abs(got-want) / math.Max(math.Abs(want), 1e-12)
+			if rel > 1e-6 {
+				t.Errorf("timeout %v measure %s: sweep %v vs fresh %v (rel %g)", T, name, got, want, rel)
+			}
+		}
+	}
+}
+
+// TestPhase2SweepRejectsBadInput pins the sweep's input contract.
+func TestPhase2SweepRejectsBadInput(t *testing.T) {
+	plain := elaborateRPC(t, models.DefaultRPCParams())
+	if _, err := Phase2Sweep(plain, nil, [][]float64{{1}}, SweepOptions{}); err == nil {
+		t.Error("sweeping a slot-free model should fail")
+	}
+
+	pp := models.DefaultRPCParams()
+	pp.ParametricTimeout = true
+	m := elaborateRPC(t, pp)
+	if _, err := Phase2Sweep(m, nil, [][]float64{{1, 2}}, SweepOptions{}); err == nil {
+		t.Error("a point with the wrong arity should fail")
+	}
+	if _, err := Phase2Sweep(m, nil, [][]float64{{1}}, SweepOptions{
+		Solve: ctmc.SolveOptions{WarmStart: []float64{1}},
+	}); err == nil {
+		t.Error("a caller-supplied WarmStart should be rejected")
+	}
+	reps, err := Phase2Sweep(m, nil, nil, SweepOptions{})
+	if err != nil || reps != nil {
+		t.Errorf("empty sweep: got (%v, %v), want (nil, nil)", reps, err)
+	}
+	if _, err := Phase2Sweep(m, []measure.Measure{}, [][]float64{{0}}, SweepOptions{}); err == nil {
+		t.Error("a structure-changing point should fail")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/lts"
 	"repro/internal/rates"
@@ -67,6 +68,34 @@ type CTMC struct {
 	branches  [][]branch // per vanishing state (indexed by order position)
 	vanPos    []int      // LTS state -> position in vanishing, or -1
 	expEdges  []expEdge
+
+	// Rate-parametric bookkeeping, populated only when the source LTS
+	// carries rate slots (lts.NumRateSlots > 0). Every generator entry's
+	// rate is the ordered sum of its contribution terms; the terms are
+	// flattened CSR-style across entries in row-major, column-ascending
+	// order (the same order Rows stores entries). Rebind re-sums the term
+	// lists with new slot values — the identical sequence of float
+	// additions Build performed — so a rebound chain is bit-identical to a
+	// fresh build at the same rates.
+	numSlots  int
+	termStart []int32    // len = total entries + 1
+	terms     []rateTerm // flattened contribution terms
+	expSlots  []int32    // per expEdge: slot of its rate (0 = constant)
+
+	// Cached Poisson weight vectors for uniformization, keyed by (q·t,
+	// epsilon); see TransientFrom. Guarded by poissonMu.
+	poissonMu sync.Mutex
+	poisson   map[poissonKey][]float64
+}
+
+// rateTerm is one contribution to a generator entry. A slot-0 term is a
+// constant: its coeff is the full contribution (λ, or λ·p through a
+// vanishing state). A slot-k term contributes values[k-1] · coeff, where
+// coeff is the absorption probability the slotted rate is multiplied by
+// (1 for a direct tangible-to-tangible edge).
+type rateTerm struct {
+	slot  int32
+	coeff float64
 }
 
 // Common construction errors.
@@ -79,7 +108,41 @@ var (
 	// ErrMultipleBSCC reports a reducible chain with several reachable
 	// bottom components.
 	ErrMultipleBSCC = errors.New("ctmc: multiple reachable bottom strongly connected components")
+	// ErrStructuralRebind reports a Rebind that would change the chain's
+	// structure rather than its rate values.
+	ErrStructuralRebind = errors.New("ctmc: rebind would change the chain structure")
 )
+
+// RebindError details why a Rebind was rejected. It wraps
+// ErrStructuralRebind when the requested values would alter the chain's
+// structure (a non-positive or non-finite rate removes an edge or changes
+// the tangible/vanishing classification, which a rate-only rewrite cannot
+// express).
+type RebindError struct {
+	// Slot is the 1-based offending slot, or 0 for a length mismatch.
+	Slot int
+	// Value is the offending value (meaningful when Slot > 0).
+	Value float64
+	// Want and Got are the expected and supplied value counts.
+	Want, Got int
+}
+
+// Error implements error.
+func (e *RebindError) Error() string {
+	if e.Slot == 0 {
+		return fmt.Sprintf("ctmc: rebind expects %d slot values, got %d", e.Want, e.Got)
+	}
+	return fmt.Sprintf("ctmc: rebind slot %d to %v: %v", e.Slot, e.Value, ErrStructuralRebind)
+}
+
+// Unwrap exposes ErrStructuralRebind for errors.Is when the failure is a
+// structure-changing value rather than a length mismatch.
+func (e *RebindError) Unwrap() error {
+	if e.Slot == 0 {
+		return nil
+	}
+	return ErrStructuralRebind
+}
 
 // Build extracts the CTMC from a rated LTS.
 func Build(l *lts.LTS) (*CTMC, error) {
@@ -204,11 +267,23 @@ func Build(l *lts.LTS) (*CTMC, error) {
 		return nil, ErrTimelessTrap
 	}
 
-	// Generator rows.
+	// Generator rows. When the LTS carries rate slots, the per-entry
+	// contribution terms are recorded alongside the accumulated values, in
+	// the exact accumulation order, so Rebind can replay the identical
+	// sequence of float additions with new slot values.
+	c.numSlots = l.NumRateSlots()
+	parametric := c.numSlots > 0
+	var termsOf map[int][]rateTerm // per destination column, current state
+	if parametric {
+		c.termStart = append(c.termStart, 0)
+	}
 	c.Rows = make([][]Entry, c.N)
 	c.Exit = make([]float64, c.N)
 	for ci, s := range c.TangibleOf {
 		acc := make(map[int]float64, 4)
+		if parametric {
+			termsOf = make(map[int][]rateTerm, 4)
+		}
 		sp := l.Out(s)
 		base := l.EdgeBase(s)
 		for k := 0; k < sp.Len(); k++ {
@@ -219,12 +294,23 @@ func Build(l *lts.LTS) (*CTMC, error) {
 				c.expEdges = append(c.expEdges, expEdge{
 					src: s, dst: dst, rate: r.Lambda, ltsTrans: base + k,
 				})
+				if parametric {
+					c.expSlots = append(c.expSlots, int32(r.Slot))
+				}
 				if isVanishing[dst] {
 					for _, ae := range absorb[c.vanPos[dst]] {
-						acc[c.ctmcIndex[ae.tgt]] += r.Lambda * ae.prob
+						col := c.ctmcIndex[ae.tgt]
+						acc[col] += r.Lambda * ae.prob
+						if parametric {
+							termsOf[col] = append(termsOf[col], makeTerm(r, ae.prob))
+						}
 					}
 				} else {
-					acc[c.ctmcIndex[dst]] += r.Lambda
+					col := c.ctmcIndex[dst]
+					acc[col] += r.Lambda
+					if parametric {
+						termsOf[col] = append(termsOf[col], makeTerm(r, 1))
+					}
 				}
 			case rates.Immediate:
 				// Impossible: s is tangible.
@@ -249,6 +335,15 @@ func Build(l *lts.LTS) (*CTMC, error) {
 			c.Exit[ci] += e.Rate
 		}
 		c.Rows[ci] = row
+		if parametric {
+			// Flatten the kept entries' term lists in the row's final
+			// (column-ascending) order. Self-loop terms are dropped with
+			// their entries.
+			for _, e := range row {
+				c.terms = append(c.terms, termsOf[e.Col]...)
+				c.termStart = append(c.termStart, int32(len(c.terms)))
+			}
+		}
 	}
 
 	// Initial distribution.
@@ -276,6 +371,119 @@ func sortedAbsorb(dist map[int]float64) []absorbEntry {
 		out = append(out, absorbEntry{tgt: t, prob: p})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].tgt < out[b].tgt })
+	return out
+}
+
+// makeTerm records one generator-entry contribution: an exponential rate
+// r reaching the entry's column with absorption probability prob (1 for a
+// direct tangible-to-tangible edge). Slot-0 terms precompute the full
+// constant contribution; slotted terms keep the probability as the
+// coefficient of the future slot value. Multiplying by a probability of
+// exactly 1 is exact in IEEE arithmetic, so both forms replay Build's
+// accumulation bit for bit.
+func makeTerm(r rates.Rate, prob float64) rateTerm {
+	if r.Slot > 0 {
+		return rateTerm{slot: int32(r.Slot), coeff: prob}
+	}
+	return rateTerm{coeff: r.Lambda * prob}
+}
+
+// NumRateSlots returns the number of symbolic rate slots the chain was
+// built with (0 for a chain extracted from a slot-free LTS, which cannot
+// be rebound).
+func (c *CTMC) NumRateSlots() int { return c.numSlots }
+
+// Rebind rewrites every generator entry, exit rate, and exponential-edge
+// rate for the given slot values (values[k-1] is the new rate of slot k)
+// in O(edges), without touching the chain's structure: states, entry
+// columns, vanishing elimination, and branching probabilities are all
+// preserved. Each entry is recomputed by summing its recorded contribution
+// terms in the order Build accumulated them, so a rebound chain is
+// bit-identical to a fresh Build of the same model elaborated at the new
+// rates.
+//
+// Every value must be positive and finite — a zero, negative, or infinite
+// rate would remove an edge or change the tangible/vanishing
+// classification, which is a structural change Rebind cannot express; such
+// requests fail with a *RebindError wrapping ErrStructuralRebind, and a
+// length mismatch fails with a *RebindError, in both cases leaving the
+// chain untouched.
+func (c *CTMC) Rebind(values []float64) error {
+	if len(values) != c.numSlots {
+		return &RebindError{Want: c.numSlots, Got: len(values)}
+	}
+	for i, v := range values {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return &RebindError{Slot: i + 1, Value: v}
+		}
+	}
+	if c.numSlots == 0 {
+		return nil // slot-free chain, empty rebind: nothing to rewrite
+	}
+	ei := 0
+	for ci := range c.Rows {
+		row := c.Rows[ci]
+		for j := range row {
+			lo, hi := c.termStart[ei], c.termStart[ei+1]
+			sum := 0.0
+			for k := lo; k < hi; k++ {
+				t := c.terms[k]
+				if t.slot > 0 {
+					sum += values[t.slot-1] * t.coeff
+				} else {
+					sum += t.coeff
+				}
+			}
+			row[j].Rate = sum
+			ei++
+		}
+		exit := 0.0
+		for _, e := range row {
+			exit += e.Rate
+		}
+		c.Exit[ci] = exit
+	}
+	for i := range c.expEdges {
+		if s := c.expSlots[i]; s > 0 {
+			c.expEdges[i].rate = values[s-1]
+		}
+	}
+	// The uniformization weight cache keys on q·t, which is derived from
+	// the (now rewritten) exit rates; stale entries for other rate values
+	// would only waste memory, and a changed q invalidates them via the
+	// key, but drop them anyway so long sweeps do not accumulate vectors.
+	c.poissonMu.Lock()
+	c.poisson = nil
+	c.poissonMu.Unlock()
+	return nil
+}
+
+// Clone returns a chain that shares all immutable structure with c (the
+// LTS, vanishing bookkeeping, tangible indexing, contribution terms) but
+// owns its mutable rate state — generator rows, exit rates, exponential
+// edges, and the uniformization cache — so concurrent sweep workers can
+// Rebind and solve private clones of one built chain.
+func (c *CTMC) Clone() *CTMC {
+	out := &CTMC{
+		N:          c.N,
+		Rows:       make([][]Entry, len(c.Rows)),
+		Exit:       append([]float64(nil), c.Exit...),
+		Initial:    c.Initial,
+		TangibleOf: c.TangibleOf,
+		ctmcIndex:  c.ctmcIndex,
+		l:          c.l,
+		vanishing:  c.vanishing,
+		branches:   c.branches,
+		vanPos:     c.vanPos,
+		expEdges:   append([]expEdge(nil), c.expEdges...),
+		numSlots:   c.numSlots,
+		termStart:  c.termStart,
+		terms:      c.terms,
+		expSlots:   c.expSlots,
+	}
+	for i, row := range c.Rows {
+		out.Rows[i] = append([]Entry(nil), row...)
+	}
 	return out
 }
 

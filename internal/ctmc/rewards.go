@@ -90,6 +90,14 @@ func (c *CTMC) Transient(t, epsilon float64) []float64 {
 
 // TransientFrom evolves an arbitrary distribution over tangible states by
 // time t (uniformization). The input is not modified.
+//
+// The Poisson weight vector of the series depends only on q·t and epsilon
+// — not on the distribution being evolved — so it is computed once per
+// (q·t, epsilon) pair and cached on the chain: battery-lifetime and
+// startup-transient integrations step the same chain at a fixed dt
+// thousands of times and reuse one vector. The cached path replays the
+// identical weight recurrence and truncation rule, so results are bit for
+// bit the same as recomputing the series inline.
 func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
 	if epsilon <= 0 {
 		epsilon = 1e-10
@@ -111,22 +119,12 @@ func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
 	v := append([]float64(nil), init...)
 	next := make([]float64, c.N)
 
-	// Poisson(q t) weights with scaling to avoid underflow.
-	qt := q * t
-	// Series upper bound: mean + 10*sqrt(mean) + 20.
-	kMax := int(qt + 10*math.Sqrt(qt) + 20)
-	logW := -qt
-	sumW := 0.0
-	for k := 0; ; k++ {
-		w := math.Exp(logW)
-		sumW += w
+	weights := c.poissonWeights(q*t, epsilon)
+	for k, w := range weights {
 		for i := range v {
 			out[i] += w * v[i]
 		}
-		if k >= kMax && 1-sumW < epsilon {
-			break
-		}
-		if k > kMax*4 {
+		if k == len(weights)-1 {
 			break
 		}
 		// v <- v P
@@ -142,7 +140,6 @@ func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
 			}
 		}
 		v, next = next, v
-		logW += math.Log(qt) - math.Log(float64(k+1))
 	}
 	// Renormalize for the truncated tail.
 	total := 0.0
@@ -155,6 +152,56 @@ func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
 		}
 	}
 	return out
+}
+
+// poissonKey identifies a cached uniformization weight vector. The key
+// includes q·t, so a Rebind — which can change the maximal exit rate and
+// with it q — never matches a stale vector even before the cache is
+// dropped.
+type poissonKey struct{ qt, epsilon float64 }
+
+// poissonWeights returns the truncated, underflow-scaled Poisson(q·t)
+// weight sequence, cached per (q·t, epsilon).
+func (c *CTMC) poissonWeights(qt, epsilon float64) []float64 {
+	key := poissonKey{qt: qt, epsilon: epsilon}
+	c.poissonMu.Lock()
+	w, ok := c.poisson[key]
+	c.poissonMu.Unlock()
+	if ok {
+		return w
+	}
+	w = computePoissonWeights(qt, epsilon)
+	c.poissonMu.Lock()
+	if c.poisson == nil {
+		c.poisson = make(map[poissonKey][]float64)
+	}
+	c.poisson[key] = w
+	c.poissonMu.Unlock()
+	return w
+}
+
+// computePoissonWeights evaluates the Poisson(q·t) series in log space.
+// Truncation: at least kMax = qt + 10·√qt + 20 terms, extended until the
+// accumulated mass is within epsilon of 1, hard-capped at 4·kMax terms —
+// the exact rule the inline loop applied before the vector was cacheable.
+func computePoissonWeights(qt, epsilon float64) []float64 {
+	kMax := int(qt + 10*math.Sqrt(qt) + 20)
+	logW := -qt
+	sumW := 0.0
+	ws := make([]float64, 0, kMax+1)
+	for k := 0; ; k++ {
+		w := math.Exp(logW)
+		sumW += w
+		ws = append(ws, w)
+		if k >= kMax && 1-sumW < epsilon {
+			break
+		}
+		if k > kMax*4 {
+			break
+		}
+		logW += math.Log(qt) - math.Log(float64(k+1))
+	}
+	return ws
 }
 
 // MeanExitRate returns the steady-state average exit rate (a sanity

@@ -56,6 +56,18 @@ type SolveOptions struct {
 	// JacobiThreshold is the component size at which SweepAuto switches
 	// from Gauss-Seidel to Jacobi (default 1024).
 	JacobiThreshold int
+	// WarmStart optionally seeds the iteration with a previous solution: a
+	// distribution over all tangible states (length N), typically the
+	// steady state of the same chain at nearby rate values. The solver
+	// projects it onto the recurrent component and renormalizes; when the
+	// length is wrong or the projection carries no mass it falls back to
+	// the uniform start. Warm-starting changes the iteration trajectory —
+	// and with it the last bits of the converged vector — so deterministic
+	// sweeps must derive the seed deterministically: solve one designated
+	// anchor point cold and seed every other point from the anchor's
+	// solution, independent of worker count and scheduling (see
+	// core.Phase2Sweep).
+	WarmStart []float64
 }
 
 // ErrNoConvergence reports that the iterative solver hit its iteration
@@ -129,6 +141,12 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 	}
 
 	comp := c.buildComponent(target)
+	start := comp.uniform()
+	if len(opts.WarmStart) == c.N {
+		if ws := projectStart(opts.WarmStart, target); ws != nil {
+			start = ws
+		}
+	}
 	sweep := opts.Sweep
 	if sweep == SweepAuto {
 		// Jacobi needs fewer wall-clock sweeps only when rows actually
@@ -146,15 +164,15 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 		err error
 	)
 	if sweep == SweepJacobi {
-		x, err = comp.jacobi(opts)
+		x, err = comp.jacobi(opts, start)
 		if err != nil && opts.Sweep == SweepAuto && errors.Is(err, ErrNoConvergence) {
 			// Auto mode falls back to the sequential sweep: Gauss-Seidel's
 			// sequential substitution converges on chains where even the
 			// damped simultaneous update crawls.
-			x, err = comp.gaussSeidel(opts)
+			x, err = comp.gaussSeidel(opts, start)
 		}
 	} else {
-		x, err = comp.gaussSeidel(opts)
+		x, err = comp.gaussSeidel(opts, start)
 	}
 	if err != nil {
 		return nil, err
@@ -220,7 +238,7 @@ func (c *CTMC) buildComponent(target []int) *component {
 	return p
 }
 
-// uniform returns the uniform starting vector both sweeps iterate from.
+// uniform returns the default uniform starting vector.
 func (p *component) uniform() []float64 {
 	x := make([]float64, p.n)
 	for i := range x {
@@ -229,10 +247,36 @@ func (p *component) uniform() []float64 {
 	return x
 }
 
-// gaussSeidel runs the sequential Gauss-Seidel sweep: each row update
-// reads the in-place vector, so updates within a sweep feed forward.
-func (p *component) gaussSeidel(opts SolveOptions) ([]float64, error) {
-	x := p.uniform()
+// projectStart restricts a warm-start distribution over all tangible
+// states to the recurrent component's local coordinates and renormalizes
+// it. It returns nil when the projection carries no positive mass (or any
+// non-finite value), in which case the caller falls back to the uniform
+// start.
+func projectStart(ws []float64, target []int) []float64 {
+	x := make([]float64, len(target))
+	sum := 0.0
+	for j, s := range target {
+		v := ws[s]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil
+		}
+		x[j] = v
+		sum += v
+	}
+	if !(sum > 0) {
+		return nil
+	}
+	for j := range x {
+		x[j] /= sum
+	}
+	return x
+}
+
+// gaussSeidel runs the sequential Gauss-Seidel sweep from the given
+// starting vector: each row update reads the in-place vector, so updates
+// within a sweep feed forward.
+func (p *component) gaussSeidel(opts SolveOptions, start []float64) ([]float64, error) {
+	x := append([]float64(nil), start...)
 	maxDelta := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		maxDelta = 0.0
@@ -283,8 +327,8 @@ const jacobiOmega = 0.5
 // owns the row, maxDelta is an order-independent max-reduction over
 // per-block maxima, and the normalization sum is one canonical sequential
 // pass — the iterate is bit-identical at any worker count.
-func (p *component) jacobi(opts SolveOptions) ([]float64, error) {
-	x := p.uniform()
+func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error) {
+	x := append([]float64(nil), start...)
 	next := make([]float64, p.n)
 
 	workers := opts.Workers

@@ -127,6 +127,9 @@ type Model struct {
 	arch  *aemilia.ArchiType
 	insts []instance
 	nodes []nodeInfo // indexed by process-node ID
+	// numRateSlots is the highest rate-slot index appearing in any action
+	// annotation of the description (0 when the model is not parametric).
+	numRateSlots int
 }
 
 // Elaborate turns a validated description into an executable composition.
@@ -142,6 +145,18 @@ func Elaborate(a *aemilia.ArchiType) (*Model, error) {
 		for _, b := range et.Behaviors {
 			if err := m.indexNodes(b.Body, b); err != nil {
 				return nil, err
+			}
+		}
+	}
+
+	// Record the rate-slot arity of the description: the highest slot
+	// index on any action annotation. Slots are declared densely (1..k),
+	// so the maximum is the number of symbolic rate parameters a
+	// downstream ctmc.Rebind must supply.
+	for _, ni := range m.nodes {
+		if pre, ok := ni.proc.(*aemilia.Prefix); ok {
+			if s := pre.Act.Rate.Slot; s > m.numRateSlots {
+				m.numRateSlots = s
 			}
 		}
 	}
@@ -222,6 +237,14 @@ func Elaborate(a *aemilia.ArchiType) (*Model, error) {
 	}
 	return m, nil
 }
+
+// NumRateSlots returns the number of symbolic rate parameters of the
+// model: the highest slot index (rates.Rate.Slot) appearing in any action
+// annotation, or 0 for a fully constant-rated model. A transition system
+// generated from the model carries the same slots on its edges
+// (lts.LTS.NumRateSlots), and a chain extracted from it accepts
+// ctmc.Rebind with exactly this many values.
+func (m *Model) NumRateSlots() int { return m.numRateSlots }
 
 // collectActions visits the action name of every prefix in a process body.
 func collectActions(p aemilia.Process, visit func(string)) {

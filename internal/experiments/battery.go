@@ -30,7 +30,10 @@ type BatteryPoint struct {
 // the given energy budget powers the rpc server, by integrating the
 // transient energy rate of the CTMC (uniformization steps of dt). The
 // four policies are analysed concurrently (DefaultWorkers) and reported
-// in taxonomy order.
+// in taxonomy order. The sweep is over policies — a structural parameter
+// — so each point generates its own state space; the repeated
+// uniformization steps at constant dt reuse one cached Poisson weight
+// vector per chain (ctmc.TransientFrom).
 func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 	if budget <= 0 || dt <= 0 {
 		return nil, fmt.Errorf("experiments: budget and dt must be positive")

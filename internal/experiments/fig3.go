@@ -39,9 +39,37 @@ func DefaultRPCTimeouts() []float64 {
 	return []float64{0, 0.5, 1, 2, 3, 5, 7.5, 10, 12.5, 15, 20, 25}
 }
 
+// rpcTimeoutSweep solves the with-DPM rpc model across positive shutdown
+// timeouts as one rate-parametric sweep: the state space is generated
+// once, the CTMC is built once, and each timeout only rebinds the
+// shutdown rate (slot models.RPCTimeoutSlot gets 1/T — the same value a
+// fresh build at that timeout would use) before a warm-started solve.
+// Reports come back in timeout order.
+func rpcTimeoutSweep(timeouts []float64) ([]*core.Phase2Report, error) {
+	p := models.DefaultRPCParams()
+	p.ParametricTimeout = true
+	m, err := rpcModel(p)
+	if err != nil {
+		return nil, err
+	}
+	points := make([][]float64, len(timeouts))
+	for i, T := range timeouts {
+		points[i] = []float64{1 / T}
+	}
+	return core.Phase2Sweep(m, models.RPCMeasures(p), points, core.SweepOptions{
+		Gen:     genOpts(),
+		Solve:   solveOpts(),
+		Workers: workersOr(0),
+	})
+}
+
 // Fig3Markov reproduces the left-hand side of paper Fig. 3: the Markovian
-// rpc comparison across DPM shutdown timeouts. Sweep points are solved
-// concurrently (DefaultWorkers) and reported in timeout order.
+// rpc comparison across DPM shutdown timeouts. Positive timeouts share a
+// single generated state space and built chain (rpcTimeoutSweep);
+// non-positive timeouts turn the shutdown into an immediate action — a
+// structurally different model — and fall back to a per-point build.
+// Points are solved concurrently (DefaultWorkers) and reported in timeout
+// order.
 func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 	if timeouts == nil {
 		timeouts = DefaultRPCTimeouts()
@@ -59,23 +87,50 @@ func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 	}
 	base := rpcMetricsFromValues(rep0.Values)
 
-	return RunPoints(timeouts, workersOr(0), func(T float64) (RPCPoint, error) {
-		p := models.DefaultRPCParams()
-		p.ShutdownTimeout = T
-		m, err := rpcModel(p)
-		if err != nil {
-			return RPCPoint{}, err
+	points := make([]RPCPoint, len(timeouts))
+	var swept []float64
+	var sweptIdx, fallback []int
+	for i, T := range timeouts {
+		points[i].Timeout = T
+		points[i].NoDPM = base
+		if T > 0 {
+			swept = append(swept, T)
+			sweptIdx = append(sweptIdx, i)
+		} else {
+			fallback = append(fallback, i)
 		}
-		rep, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
+	}
+	if len(swept) > 0 {
+		reps, err := rpcTimeoutSweep(swept)
 		if err != nil {
-			return RPCPoint{}, err
+			return nil, err
 		}
-		return RPCPoint{
-			Timeout: T,
-			WithDPM: rpcMetricsFromValues(rep.Values),
-			NoDPM:   base,
-		}, nil
-	})
+		for k, rep := range reps {
+			points[sweptIdx[k]].WithDPM = rpcMetricsFromValues(rep.Values)
+		}
+	}
+	if len(fallback) > 0 {
+		metrics, err := RunPoints(fallback, workersOr(0), func(i int) (RPCMetrics, error) {
+			p := models.DefaultRPCParams()
+			p.ShutdownTimeout = timeouts[i]
+			m, err := rpcModel(p)
+			if err != nil {
+				return RPCMetrics{}, err
+			}
+			rep, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
+			if err != nil {
+				return RPCMetrics{}, err
+			}
+			return rpcMetricsFromValues(rep.Values), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range fallback {
+			points[i].WithDPM = metrics[k]
+		}
+	}
+	return points, nil
 }
 
 // Fig3General reproduces the right-hand side of paper Fig. 3: the general

@@ -59,8 +59,33 @@ func streamingParams(scale Scale) models.StreamingParams {
 	return p
 }
 
+// streamingPeriodSweep solves the with-DPM streaming model across
+// positive awake periods as one rate-parametric sweep: generated and
+// built once, each period rebinds the PSP wakeup rate (slot
+// models.StreamingPeriodSlot gets 1/P) before a warm-started solve.
+func streamingPeriodSweep(periods []float64, scale Scale) ([]*core.Phase2Report, error) {
+	p := streamingParams(scale)
+	p.ParametricPeriod = true
+	m, err := streamingModel(p)
+	if err != nil {
+		return nil, err
+	}
+	points := make([][]float64, len(periods))
+	for i, P := range periods {
+		points[i] = []float64{1 / P}
+	}
+	return core.Phase2Sweep(m, models.StreamingMeasures(p), points, core.SweepOptions{
+		Gen:     genOpts(),
+		Solve:   solveOpts(),
+		Workers: workersOr(0),
+	})
+}
+
 // Fig4Markov reproduces paper Fig. 4: the Markovian streaming comparison
-// across PSP awake periods. Sweep points are solved concurrently
+// across PSP awake periods. Positive periods share a single generated
+// state space and built chain (streamingPeriodSweep); a non-positive
+// period makes the wakeup immediate — a structurally different model —
+// and falls back to a per-point build. Points are solved concurrently
 // (DefaultWorkers) and reported in period order.
 func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
 	if periods == nil {
@@ -78,23 +103,50 @@ func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
 	}
 	base := streamingMetricsFromValues(rep0.Values)
 
-	return RunPoints(periods, workersOr(0), func(P float64) (StreamingPoint, error) {
-		p := streamingParams(scale)
-		p.AwakePeriod = P
-		m, err := streamingModel(p)
-		if err != nil {
-			return StreamingPoint{}, err
+	points := make([]StreamingPoint, len(periods))
+	var swept []float64
+	var sweptIdx, fallback []int
+	for i, P := range periods {
+		points[i].Period = P
+		points[i].NoDPM = base
+		if P > 0 {
+			swept = append(swept, P)
+			sweptIdx = append(sweptIdx, i)
+		} else {
+			fallback = append(fallback, i)
 		}
-		rep, err := core.Phase2ModelSolve(m, models.StreamingMeasures(p), genOpts(), solveOpts())
+	}
+	if len(swept) > 0 {
+		reps, err := streamingPeriodSweep(swept, scale)
 		if err != nil {
-			return StreamingPoint{}, err
+			return nil, err
 		}
-		return StreamingPoint{
-			Period:  P,
-			WithDPM: streamingMetricsFromValues(rep.Values),
-			NoDPM:   base,
-		}, nil
-	})
+		for k, rep := range reps {
+			points[sweptIdx[k]].WithDPM = streamingMetricsFromValues(rep.Values)
+		}
+	}
+	if len(fallback) > 0 {
+		metrics, err := RunPoints(fallback, workersOr(0), func(i int) (StreamingMetrics, error) {
+			p := streamingParams(scale)
+			p.AwakePeriod = periods[i]
+			m, err := streamingModel(p)
+			if err != nil {
+				return StreamingMetrics{}, err
+			}
+			rep, err := core.Phase2ModelSolve(m, models.StreamingMeasures(p), genOpts(), solveOpts())
+			if err != nil {
+				return StreamingMetrics{}, err
+			}
+			return streamingMetricsFromValues(rep.Values), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range fallback {
+			points[i].WithDPM = metrics[k]
+		}
+	}
+	return points, nil
 }
 
 // Fig4Rows renders Fig. 4/6 points as table rows.

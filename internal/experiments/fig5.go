@@ -63,13 +63,57 @@ func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]Validation
 		return nil, err
 	}
 
-	return RunPoints(timeouts, settings.Workers, func(T float64) (ValidationPoint, error) {
+	// Analytic with-DPM values: positive timeouts share one generated
+	// state space and built chain (rpcTimeoutSweep); a non-positive
+	// timeout is structurally different and is solved per point below,
+	// alongside its simulation.
+	exactOf := make([]float64, len(timeouts))
+	exactDone := make([]bool, len(timeouts))
+	var swept []float64
+	var sweptIdx []int
+	for i, T := range timeouts {
+		if T > 0 {
+			swept = append(swept, T)
+			sweptIdx = append(sweptIdx, i)
+		}
+	}
+	if len(swept) > 0 {
+		reps, err := rpcTimeoutSweep(swept)
+		if err != nil {
+			return nil, err
+		}
+		for k, rep := range reps {
+			exactOf[sweptIdx[k]] = rep.Values["energy"]
+			exactDone[sweptIdx[k]] = true
+		}
+	}
+
+	idx := make([]int, len(timeouts))
+	for i := range idx {
+		idx[i] = i
+	}
+	return RunPoints(idx, settings.Workers, func(i int) (ValidationPoint, error) {
+		T := timeouts[i]
 		p := models.DefaultRPCParams()
 		p.ShutdownTimeout = T
-		exact1, sim1, err := solve(p)
+		m, err := rpcModel(p)
 		if err != nil {
 			return ValidationPoint{}, err
 		}
+		exact1 := exactOf[i]
+		if !exactDone[i] {
+			rep, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
+			if err != nil {
+				return ValidationPoint{}, err
+			}
+			exact1 = rep.Values["energy"]
+		}
+		simRep, err := core.Phase3Model(m, models.RPCExponentialDistributions(p),
+			models.RPCMeasures(p), settings)
+		if err != nil {
+			return ValidationPoint{}, err
+		}
+		sim1 := simRep.Estimates["energy"]
 		relErr := 0.0
 		if exact1 != 0 {
 			relErr = abs(sim1.Mean-exact1) / exact1

@@ -18,6 +18,9 @@ type PolicyPoint struct {
 // at the given shutdown timeout/period and returns the three Fig. 3
 // indices for each, with PolicyNone as the baseline. The policies are
 // solved concurrently (DefaultWorkers) and reported in taxonomy order.
+// The swept parameter here is the policy, which changes the DPM's
+// behaviour — the structure of the state space — so this driver keeps the
+// per-point generate+build path rather than the rate-parametric sweep.
 func PolicyComparison(timeout float64) ([]PolicyPoint, error) {
 	policies := []models.Policy{
 		models.PolicyNone,

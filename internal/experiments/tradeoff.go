@@ -39,18 +39,10 @@ func ParetoDominated(points []TradeoffPoint) []int {
 	return out
 }
 
-// Fig7Tradeoff reproduces paper Fig. 7: energy per request vs waiting
-// time for the rpc system, on both the Markovian and the general model,
-// across shutdown timeouts.
-func Fig7Tradeoff(timeouts []float64, settings core.SimSettings) (*TradeoffCurves, error) {
-	markov, err := Fig3Markov(timeouts)
-	if err != nil {
-		return nil, err
-	}
-	general, err := Fig3General(timeouts, settings)
-	if err != nil {
-		return nil, err
-	}
+// RPCTradeoffCurves builds the Fig. 7 trade-off curves (waiting time vs
+// energy per request) from already-computed Fig. 3 sweep results, so a
+// caller who has both sweeps in hand pays no additional solves.
+func RPCTradeoffCurves(markov, general []RPCPoint) *TradeoffCurves {
 	curves := &TradeoffCurves{}
 	for _, pt := range markov {
 		curves.Markov = append(curves.Markov, TradeoffPoint{
@@ -62,7 +54,41 @@ func Fig7Tradeoff(timeouts []float64, settings core.SimSettings) (*TradeoffCurve
 			Knob: pt.Timeout, X: pt.WithDPM.WaitingTime, Y: pt.WithDPM.EnergyPerRequest,
 		})
 	}
-	return curves, nil
+	return curves
+}
+
+// StreamingTradeoffCurves builds the Fig. 8 trade-off curves (miss rate vs
+// energy per frame) from already-computed Fig. 4/6 sweep results.
+func StreamingTradeoffCurves(markov, general []StreamingPoint) *TradeoffCurves {
+	curves := &TradeoffCurves{}
+	for _, pt := range markov {
+		curves.Markov = append(curves.Markov, TradeoffPoint{
+			Knob: pt.Period, X: pt.WithDPM.Miss, Y: pt.WithDPM.EnergyPerFrame,
+		})
+	}
+	for _, pt := range general {
+		curves.General = append(curves.General, TradeoffPoint{
+			Knob: pt.Period, X: pt.WithDPM.Miss, Y: pt.WithDPM.EnergyPerFrame,
+		})
+	}
+	return curves
+}
+
+// Fig7Tradeoff reproduces paper Fig. 7: energy per request vs waiting
+// time for the rpc system, on both the Markovian and the general model,
+// across shutdown timeouts. The Markovian sweep runs the
+// rate-parametric engine (one generation for all positive timeouts) and
+// each model family is solved exactly once for the whole grid.
+func Fig7Tradeoff(timeouts []float64, settings core.SimSettings) (*TradeoffCurves, error) {
+	markov, err := Fig3Markov(timeouts)
+	if err != nil {
+		return nil, err
+	}
+	general, err := Fig3General(timeouts, settings)
+	if err != nil {
+		return nil, err
+	}
+	return RPCTradeoffCurves(markov, general), nil
 }
 
 // Fig8Tradeoff reproduces paper Fig. 8: energy per frame vs miss rate for
@@ -77,18 +103,7 @@ func Fig8Tradeoff(periods []float64, scale Scale, settings core.SimSettings) (*T
 	if err != nil {
 		return nil, err
 	}
-	curves := &TradeoffCurves{}
-	for _, pt := range markov {
-		curves.Markov = append(curves.Markov, TradeoffPoint{
-			Knob: pt.Period, X: pt.WithDPM.Miss, Y: pt.WithDPM.EnergyPerFrame,
-		})
-	}
-	for _, pt := range general {
-		curves.General = append(curves.General, TradeoffPoint{
-			Knob: pt.Period, X: pt.WithDPM.Miss, Y: pt.WithDPM.EnergyPerFrame,
-		})
-	}
-	return curves, nil
+	return StreamingTradeoffCurves(markov, general), nil
 }
 
 // TradeoffRows renders trade-off curves as table rows.

@@ -58,6 +58,16 @@ func (e *TooManyStatesError) Error() string {
 	return fmt.Sprintf("lts: state space exceeds %d states", e.Limit)
 }
 
+// generateCalls counts Generate invocations process-wide. It exists for
+// tests that assert how often a sweep regenerates its state space (the
+// rate-parametric sweep path must generate once per structure, not once
+// per point); it never influences generation itself.
+var generateCalls atomic.Int64
+
+// GenerateCalls returns the number of Generate invocations so far in this
+// process — a test hook for pinning generate-once behaviour of sweeps.
+func GenerateCalls() int64 { return generateCalls.Load() }
+
 // genChunk is the number of frontier states a worker claims at a time;
 // it only balances load and never affects the generated LTS.
 const genChunk = 32
@@ -128,6 +138,7 @@ func parFor(n, workers int, fn func(i int) error) (int, error) {
 // dense state identifiers and the CSR edge order are the ones a
 // sequential run assigns, bit for bit, at any worker count.
 func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
+	generateCalls.Add(1)
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = 2_000_000

@@ -168,6 +168,32 @@ func (l *LTS) EdgeLabel(i int) int {
 	return int(l.csr.Label[i])
 }
 
+// EdgeSlot returns the rate-slot index of the transition at global CSR
+// index i: k > 0 when the transition's exponential rate is bound to
+// symbolic rate parameter k (rates.Rate.Slot), 0 for a constant rate.
+// Together with EdgeBase this exposes the per-edge slot column of a
+// parametrically elaborated system.
+func (l *LTS) EdgeSlot(i int) int {
+	l.seal()
+	return l.csr.Rate[i].Slot
+}
+
+// NumRateSlots returns the number of symbolic rate parameters carried by
+// the system's edges: the highest slot index on any transition rate, or 0
+// when every rate is constant. ctmc.Build uses it to size the rebind
+// machinery; derived systems (Hide, Restrict) preserve rates and with them
+// the slot column.
+func (l *LTS) NumRateSlots() int {
+	l.seal()
+	max := 0
+	for i := range l.csr.Rate {
+		if s := l.csr.Rate[i].Slot; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
 // Edges calls fn for every transition in canonical order.
 func (l *LTS) Edges(fn func(src, dst, label int, r rates.Rate)) {
 	l.seal()

@@ -65,6 +65,8 @@ func buildDPMType(p RPCParams) *aemilia.ElemType {
 		shutdownRate = rates.UntimedRate()
 	case p.ShutdownTimeout <= 0:
 		shutdownRate = rates.Inf(1, 1)
+	case p.ParametricTimeout:
+		shutdownRate = rates.ExpSlot(RPCTimeoutSlot, 1/p.ShutdownTimeout)
 	default:
 		shutdownRate = rates.ExpRate(1 / p.ShutdownTimeout)
 	}

@@ -74,7 +74,20 @@ type RPCParams struct {
 	// PowerIdle, PowerBusy and PowerAwaking are the server power levels
 	// used by the energy reward (paper: 2, 3, 2; sleeping consumes 0).
 	PowerIdle, PowerBusy, PowerAwaking float64
+	// ParametricTimeout binds the shutdown-timeout rate to rate slot
+	// RPCTimeoutSlot instead of a plain constant, so a timeout sweep can
+	// generate the state space once and rebind the rate per point
+	// (core.Phase2Sweep). Only meaningful in Markovian mode with a
+	// positive ShutdownTimeout — the ShutdownTimeout <= 0 variant is a
+	// structurally different model (the shutdown becomes immediate) and
+	// cannot be reached by rebinding.
+	ParametricTimeout bool
 }
+
+// RPCTimeoutSlot is the rate slot of the DPM shutdown-timeout rate when
+// RPCParams.ParametricTimeout is set: a sweep point's value for this slot
+// is 1/ShutdownTimeout.
+const RPCTimeoutSlot = 1
 
 // DefaultRPCParams returns the parameter set of paper Sect. 4.1.
 func DefaultRPCParams() RPCParams {

@@ -60,7 +60,20 @@ type StreamingParams struct {
 	// PowerAwake, PowerWaking and PowerDoze are the NIC power levels for
 	// the energy reward (awake/checking, waking, dozing).
 	PowerAwake, PowerWaking, PowerDoze float64
+	// ParametricPeriod binds the PSP wakeup rate to rate slot
+	// StreamingPeriodSlot instead of a plain constant, so an awake-period
+	// sweep can generate the state space once and rebind the rate per
+	// point (core.Phase2Sweep). Only meaningful in Markovian mode with
+	// WithDPM and a positive AwakePeriod — a non-positive period makes
+	// the wakeup immediate, a structurally different model that rebinding
+	// cannot reach.
+	ParametricPeriod bool
 }
+
+// StreamingPeriodSlot is the rate slot of the PSP wakeup rate when
+// StreamingParams.ParametricPeriod is set: a sweep point's value for this
+// slot is 1/AwakePeriod.
+const StreamingPeriodSlot = 1
 
 // DefaultStreamingParams returns the parameter set of paper Sect. 4.2.
 func DefaultStreamingParams() StreamingParams {
@@ -95,6 +108,15 @@ func (p StreamingParams) expMean(mean float64) rates.Rate {
 		return rates.Inf(1, 1)
 	}
 	return rates.ExpRate(1 / mean)
+}
+
+// wakeupRate is the PSP wakeup annotation: the awake-period rate, bound
+// to StreamingPeriodSlot when the sweep asked for a parametric period.
+func (p StreamingParams) wakeupRate() rates.Rate {
+	if p.ParametricPeriod && p.Mode != Functional && p.AwakePeriod > 0 {
+		return rates.ExpSlot(StreamingPeriodSlot, 1/p.AwakePeriod)
+	}
+	return p.expMean(p.AwakePeriod)
 }
 
 func (p StreamingParams) imm(weight float64) rates.Rate {
@@ -302,7 +324,7 @@ func BuildStreaming(p StreamingParams) (*aemilia.ArchiType, error) {
 			aemilia.NewBehavior("Shut_DPM", nil,
 				aemilia.Pre("send_shutdown", p.imm(1), aemilia.Invoke("Sleep_DPM"))),
 			aemilia.NewBehavior("Sleep_DPM", nil,
-				aemilia.Pre("send_wakeup", p.expMean(p.AwakePeriod), aemilia.Invoke("Watch_DPM"))),
+				aemilia.Pre("send_wakeup", p.wakeupRate(), aemilia.Invoke("Watch_DPM"))),
 		)
 		elems = append(elems, dpm)
 		insts = append(insts, aemilia.NewInstance("DPM", "DPM_Type"))

@@ -63,6 +63,15 @@ type Rate struct {
 	// immediate actions, or among alternative passive actions
 	// (Kind == Immediate or Passive).
 	Weight float64
+	// Slot binds an exponential rate to a symbolic parameter: slot k > 0
+	// means Lambda is the current value of rate parameter k, and a
+	// downstream analysis may substitute a different positive value
+	// without re-elaborating the model (ctmc.Rebind). Slot 0 — the zero
+	// value — marks an ordinary constant rate. Slots are only meaningful
+	// on Kind == Exp: immediate and passive annotations shape the
+	// *structure* of the extracted chain (vanishing-state classification,
+	// branching probabilities), so they cannot be rebound.
+	Slot int
 }
 
 // Convenience constructors.
@@ -72,6 +81,16 @@ func UntimedRate() Rate { return Rate{Kind: Untimed} }
 
 // ExpRate returns an exponential annotation with rate lambda.
 func ExpRate(lambda float64) Rate { return Rate{Kind: Exp, Lambda: lambda} }
+
+// ExpSlot returns an exponential annotation bound to rate slot k (k >= 1)
+// with anchor value lambda. The anchor is a real, positive rate — the
+// model elaborates and analyses exactly like ExpRate(lambda) — but the
+// slot index travels with the annotation through synchronization and into
+// the generated transition system, where ctmc.Build records it per edge so
+// the extracted chain can be rebound to other slot values in O(edges).
+func ExpSlot(slot int, lambda float64) Rate {
+	return Rate{Kind: Exp, Lambda: lambda, Slot: slot}
+}
 
 // Inf returns an immediate annotation with the given priority and weight.
 func Inf(priority int, weight float64) Rate {
@@ -90,6 +109,12 @@ func (r Rate) IsActive() bool { return r.Kind == Exp || r.Kind == Immediate }
 
 // Validate checks internal consistency of the annotation.
 func (r Rate) Validate() error {
+	if r.Slot < 0 {
+		return fmt.Errorf("rates: rate slot must be non-negative, got %d", r.Slot)
+	}
+	if r.Slot > 0 && r.Kind != Exp {
+		return fmt.Errorf("rates: rate slot %d on a %v annotation (slots are exponential-only)", r.Slot, r.Kind)
+	}
 	switch r.Kind {
 	case Untimed:
 		return nil
@@ -122,6 +147,9 @@ func (r Rate) String() string {
 	case Untimed:
 		return "_"
 	case Exp:
+		if r.Slot > 0 {
+			return "exp@" + strconv.Itoa(r.Slot) + "(" + strconv.FormatFloat(r.Lambda, 'g', -1, 64) + ")"
+		}
 		return "exp(" + strconv.FormatFloat(r.Lambda, 'g', -1, 64) + ")"
 	case Immediate:
 		return "inf(" + strconv.Itoa(r.Priority) + ", " +
@@ -157,6 +185,10 @@ func (e *IncompatibleError) Error() string {
 //     Markovian analysis rejects reachable passive transitions);
 //   - untimed × untimed, untimed × passive → untimed;
 //   - active × active, untimed × active → error.
+//
+// The result is a copy of the active annotation, so a rate slot on the
+// active participant is preserved; synchronization never rescales an
+// exponential Lambda, so the slot's value binding stays exact.
 func Combine(a, b Rate) (Rate, error) {
 	if a.IsActive() && b.IsActive() {
 		return Rate{}, &IncompatibleError{A: a, B: b}

@@ -4,7 +4,7 @@
 # (raw outputs are printed otherwise; nothing is downloaded).
 #
 # Usage:
-#   scripts/bench_compare.sh [-r ref] [-c count] [-p pattern] [-s]
+#   scripts/bench_compare.sh [-r ref] [-c count] [-p pattern] [-s] [-S]
 #
 #   -r ref      baseline git ref to compare against (default: no baseline,
 #               bench the working tree only)
@@ -14,6 +14,11 @@
 #               the race detector at -cpu 1,2, so the parallel generation,
 #               solve, sweep, and simulation paths run both the degenerate
 #               and a multi-worker schedule in CI. No baseline, no timing.
+#   -S          sweep-reuse mode: time the BenchmarkSweepReuseFresh /
+#               BenchmarkSweepReuseRebind pair (same six-point Fig. 3
+#               timeout sweep, per-point pipeline vs generate-once rebind)
+#               and write results/BENCH_sweepreuse.json with the median
+#               ns/op of each side and the per-point speedup ratio.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,18 +26,62 @@ ref=""
 count=5
 pattern="."
 smoke=0
-while getopts "r:c:p:s" opt; do
+sweepjson=0
+while getopts "r:c:p:sS" opt; do
     case "$opt" in
     r) ref=$OPTARG ;;
     c) count=$OPTARG ;;
     p) pattern=$OPTARG ;;
     s) smoke=1 ;;
-    *) echo "usage: $0 [-r ref] [-c count] [-p pattern] [-s]" >&2; exit 2 ;;
+    S) sweepjson=1 ;;
+    *) echo "usage: $0 [-r ref] [-c count] [-p pattern] [-s] [-S]" >&2; exit 2 ;;
     esac
 done
 
 if [ "$smoke" = 1 ]; then
     exec go test -race -run '^$' -bench "$pattern" -benchtime 1x -cpu 1,2 ./...
+fi
+
+if [ "$sweepjson" = 1 ]; then
+    out=$(mktemp)
+    trap 'rm -f "$out"' EXIT
+    benchtime=10x
+    echo "== bench: sweep reuse (benchtime $benchtime, count $count) =="
+    go test -run '^$' -bench 'SweepReuse(Fresh|Rebind)$' -benchtime "$benchtime" \
+        -count "$count" . | tee "$out"
+    median() {
+        awk -v name="$1" '$1 == "Benchmark"name {print $3}' "$out" |
+            sort -n | awk '{v[NR]=$1} END {
+                if (NR == 0) { print "error: no samples" > "/dev/stderr"; exit 1 }
+                print v[int((NR+1)/2)]
+            }'
+    }
+    fresh=$(median SweepReuseFresh)
+    rebind=$(median SweepReuseRebind)
+    cpu=$(awk -F': ' '/^cpu:/ {print $2; exit}' "$out")
+    mkdir -p results
+    awk -v fresh="$fresh" -v rebind="$rebind" -v cpu="$cpu" \
+        -v cores="$(getconf _NPROCESSORS_ONLN)" \
+        -v go="$(go env GOVERSION)" -v os="$(go env GOOS)/$(go env GOARCH)" \
+        -v benchtime="$benchtime, count $count (median reported)" 'BEGIN {
+        printf "{\n"
+        printf "  \"description\": \"Per-point cost of a Markovian rate sweep, before vs after the rate-parametric sweep engine. Both benchmarks run the same six-point Fig. 3 shutdown-timeout sweep on the revised rpc model: Fresh runs the full generate+build+solve pipeline per point (the pre-engine behaviour), Rebind generates and builds once, rewrites only the rate values per point (ctmc.Rebind, O(edges)) and warm-starts each solve from the anchor point solution (core.Phase2Sweep). Elaboration is outside the timer on both sides. Equal points per iteration, so the ns/op ratio is the per-point speedup; the rebound chains and the sweep outputs are pinned bit-identical/within solver tolerance by tests, so the delta is pure wall-clock.\",\n"
+        printf "  \"environment\": {\n"
+        printf "    \"cpu\": \"%s\",\n", cpu
+        printf "    \"cores\": %d,\n", cores
+        printf "    \"go\": \"%s\",\n", go
+        printf "    \"os\": \"%s\"\n", os
+        printf "  },\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"sweep\": \"rpc revised model, shutdown timeouts {0.5, 1, 2, 5, 10, 25}, 6 points per op\",\n"
+        printf "  \"fresh_ns_per_op\": %d,\n", fresh
+        printf "  \"rebind_ns_per_op\": %d,\n", rebind
+        printf "  \"per_point_speedup\": %.2f\n", fresh / rebind
+        printf "}\n"
+    }' > results/BENCH_sweepreuse.json
+    echo "== results/BENCH_sweepreuse.json =="
+    cat results/BENCH_sweepreuse.json
+    exit 0
 fi
 
 bench() {

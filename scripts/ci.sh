@@ -37,6 +37,6 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # degenerate and a two-core schedule (plain -race tests cover GOMAXPROCS
 # as-is only).
 echo "== bench race smoke (-cpu 1,2) =="
-scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)'
+scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)|SweepReuse'
 
 echo "CI OK"
