@@ -478,6 +478,162 @@ func BenchmarkSweepReuseFresh(b *testing.B) {
 	}
 }
 
+// --- Batched multi-lane solve: per-point vs cached-plan vs batched ---
+//
+// A 16-point rate-parametric sweep solved three ways over the same
+// prebuilt chain, all warm-started from the same anchor solution (solved
+// outside the timer): PerPoint invalidates the structural plan before
+// every solve, re-paying the per-point SCC/reachability analysis exactly
+// as the pre-batching engine did; CachedPoint keeps the shared plan but
+// still solves one point at a time; Batched hands the points to
+// SolveBatch in 8-lane chunks, one CSR pass feeding all lanes. All three
+// produce bit-identical solutions (pinned by the ctmc and core property
+// tests), so the ns/op ratios are pure solve-path speedups;
+// results/BENCH_batchsolve.json records PerPoint/Batched per model.
+
+const batchSolveLanes = 8
+
+func batchSolveRPCChain(b *testing.B) (*ctmc.CTMC, [][]float64) {
+	b.Helper()
+	p := models.DefaultRPCParams()
+	p.ParametricTimeout = true
+	a, err := models.BuildRPCRevised(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := ctmc.Build(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	timeouts := []float64{0.5, 1, 1.5, 2, 3, 4, 5, 6, 7.5, 9, 10, 12.5, 15, 17.5, 20, 25}
+	points := make([][]float64, len(timeouts))
+	for i, T := range timeouts {
+		points[i] = []float64{1 / T}
+	}
+	return chain, points
+}
+
+func batchSolveStreamingChain(b *testing.B) (*ctmc.CTMC, [][]float64) {
+	b.Helper()
+	chain := streamingSteadyChainParametric(b)
+	periods := []float64{5, 10, 25, 50, 75, 100, 150, 200, 250, 300, 400, 500, 600, 650, 700, 800}
+	points := make([][]float64, len(periods))
+	for i, P := range periods {
+		points[i] = []float64{1 / P}
+	}
+	return chain, points
+}
+
+// streamingSteadyChainParametric builds the full-size streaming chain
+// with the PSP wakeup rate left parametric.
+func streamingSteadyChainParametric(b *testing.B) *ctmc.CTMC {
+	b.Helper()
+	p := models.DefaultStreamingParams()
+	p.ParametricPeriod = true
+	a, err := models.BuildStreaming(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := ctmc.Build(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return chain
+}
+
+// batchSolveAnchor solves the first sweep point cold, exactly as
+// core.Phase2Sweep does before warm-starting the rest.
+func batchSolveAnchor(b *testing.B, chain *ctmc.CTMC, points [][]float64) []float64 {
+	b.Helper()
+	if err := chain.Rebind(points[0]); err != nil {
+		b.Fatal(err)
+	}
+	anchor, err := chain.SteadyState(ctmc.SolveOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return anchor
+}
+
+func benchBatchSolvePerPoint(b *testing.B, chain *ctmc.CTMC, points [][]float64, invalidate bool) {
+	anchor := batchSolveAnchor(b, chain, points)
+	opts := ctmc.SolveOptions{WarmStart: anchor}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pt := range points {
+			if invalidate {
+				chain.InvalidatePlan()
+			}
+			if err := chain.Rebind(pt); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := chain.SteadyState(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchBatchSolveBatched(b *testing.B, chain *ctmc.CTMC, points [][]float64) {
+	anchor := batchSolveAnchor(b, chain, points)
+	opts := ctmc.BatchOptions{Solve: ctmc.SolveOptions{WarmStart: anchor}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(points); off += batchSolveLanes {
+			end := min(off+batchSolveLanes, len(points))
+			if _, err := chain.SolveBatch(points[off:end], opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchSolveRPCPerPoint(b *testing.B) {
+	chain, points := batchSolveRPCChain(b)
+	benchBatchSolvePerPoint(b, chain, points, true)
+}
+
+func BenchmarkBatchSolveRPCCachedPoint(b *testing.B) {
+	chain, points := batchSolveRPCChain(b)
+	benchBatchSolvePerPoint(b, chain, points, false)
+}
+
+func BenchmarkBatchSolveRPCBatched(b *testing.B) {
+	chain, points := batchSolveRPCChain(b)
+	benchBatchSolveBatched(b, chain, points)
+}
+
+func BenchmarkBatchSolveStreamingPerPoint(b *testing.B) {
+	chain, points := batchSolveStreamingChain(b)
+	benchBatchSolvePerPoint(b, chain, points, true)
+}
+
+func BenchmarkBatchSolveStreamingCachedPoint(b *testing.B) {
+	chain, points := batchSolveStreamingChain(b)
+	benchBatchSolvePerPoint(b, chain, points, false)
+}
+
+func BenchmarkBatchSolveStreamingBatched(b *testing.B) {
+	chain, points := batchSolveStreamingChain(b)
+	benchBatchSolveBatched(b, chain, points)
+}
+
 func BenchmarkSweepReuseRebind(b *testing.B) {
 	p := models.DefaultRPCParams()
 	p.ParametricTimeout = true

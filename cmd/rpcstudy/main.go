@@ -7,7 +7,7 @@
 // Usage:
 //
 //	rpcstudy [-experiment all|sect3|fig3markov|fig3general|fig5|fig7]
-//	         [-csv] [-quick] [-workers N]
+//	         [-csv] [-quick] [-workers N] [-lanes K]
 package main
 
 import (
@@ -35,11 +35,15 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"concurrent sweep points, simulation replications, state-space generation\n"+
 			"workers, and steady-state solver workers (results are identical at any value)")
+	lanes := fs.Int("lanes", 0,
+		"sweep points solved per batched steady-state call: 0 auto-selects,\n"+
+			"1 forces the per-point solver (results are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	experiments.DefaultWorkers = *workers
+	experiments.DefaultLaneWidth = *lanes
 	settings := core.SimSettings{Workers: *workers}
 	if *quick {
 		settings = core.SimSettings{RunLength: 4000, Replications: 8, Workers: *workers}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	streamingstudy [-experiment all|sect3|fig4|fig6|fig8] [-csv] [-quick]
-//	               [-workers N]
+//	               [-workers N] [-lanes K]
 package main
 
 import (
@@ -34,11 +34,15 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"concurrent sweep points, simulation replications, state-space generation\n"+
 			"workers, and steady-state solver workers (results are identical at any value)")
+	lanes := fs.Int("lanes", 0,
+		"sweep points solved per batched steady-state call: 0 auto-selects,\n"+
+			"1 forces the per-point solver (results are identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	experiments.DefaultWorkers = *workers
+	experiments.DefaultLaneWidth = *lanes
 	scale := experiments.Full
 	settings := core.SimSettings{Workers: *workers}
 	if *quick {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -10,6 +11,11 @@ import (
 	"repro/internal/measure"
 )
 
+// DefaultLaneWidth is the sweep-batching width Phase2Sweep auto-selects:
+// eight lanes interleave one float64 per lane into exactly one 64-byte
+// cache line, the width the specialized batched kernels are unrolled for.
+const DefaultLaneWidth = 8
+
 // SweepOptions tunes a rate-parametric Markovian sweep.
 type SweepOptions struct {
 	// Gen tunes state-space generation (done once for the whole sweep).
@@ -17,26 +23,43 @@ type SweepOptions struct {
 	// Solve tunes the per-point steady-state solver. Its WarmStart field
 	// is managed by the sweep and must be left empty.
 	Solve ctmc.SolveOptions
-	// Workers bounds the number of sweep points solved concurrently
+	// Workers bounds the number of sweep tasks solved concurrently
 	// (0 or 1 = sequential). Results are bit-identical at any value.
 	Workers int
+	// LaneWidth is the number of sweep points the batched steady-state
+	// kernel (ctmc.SolveBatch) solves per call: 0 auto-selects
+	// DefaultLaneWidth (capped at the number of non-anchor points), 1
+	// disables batching and keeps the per-point Rebind+SteadyState path,
+	// and any other value is used as given. Every lane replicates the
+	// per-point solver's arithmetic from the same anchor-seeded start, so
+	// results are bit-identical at any width.
+	LaneWidth int
 }
 
 // Phase2Sweep runs the Markovian phase over a family of rate assignments
 // of one model: the state space is generated once, the CTMC is built once,
-// and each point rewrites only the rate values (ctmc.Rebind) before
-// solving. points[i] supplies one value per rate slot of the model
-// (points[i][k-1] is the value of slot k), and the reports come back in
-// the same order.
+// its structural solve analysis (bottom component, reachability) is
+// computed once — rate-only rebinds cannot change it — and each point
+// rewrites only the rate values before solving. points[i] supplies one
+// value per rate slot of the model (points[i][k-1] is the value of slot
+// k), and the reports come back in the same order.
 //
 // The first point is the sweep's anchor: it is solved cold (uniform start)
 // and its solution seeds every other point's solver as a warm start. The
-// seed is a pure function of the input — never of scheduling — and each
-// worker rebinds a private clone of the built chain, so the reports are
-// bit-identical at any worker count. Each point's result equals a fresh
-// generate+build+solve of the same model at that point's rates, up to the
-// solver tolerance (the rebound generator matrix itself is bit-identical
-// to a freshly built one).
+// seed is a pure function of the input — never of scheduling — so the
+// reports are bit-identical at any worker count and lane width: the
+// non-anchor points are packed in index order into SolveBatch calls of
+// LaneWidth lanes (or solved one by one when LaneWidth is 1), and every
+// lane replicates the per-point solver's floating-point operations
+// exactly. Each point's result equals a fresh generate+build+solve of the
+// same model at that point's rates, up to the solver tolerance (the
+// rebound generator matrix itself is bit-identical to a freshly built
+// one).
+//
+// A solver failure is attributed to its sweep point: the returned error
+// names the lowest failed point index (what a sequential per-point loop
+// would hit first), and an unwrapped *ctmc.ConvergenceError carries the
+// point index and its rate vector.
 //
 // The model must carry rate slots (elab.Model.NumRateSlots > 0); sweeping
 // a parameter that changes the model's structure needs one generation per
@@ -69,6 +92,27 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 		return nil, fmt.Errorf("core: phase 2 sweep: %w", err)
 	}
 
+	// attribute stamps a solver failure with its global sweep-point index
+	// and rate vector (when the failure is a convergence error that does
+	// not already carry them).
+	attribute := func(err error, i int) error {
+		var ce *ctmc.ConvergenceError
+		if errors.As(err, &ce) {
+			ce.Point = i
+			ce.Params = append([]float64(nil), points[i]...)
+		}
+		return err
+	}
+
+	report := func(values map[string]float64) *Phase2Report {
+		return &Phase2Report{
+			Values:    values,
+			States:    l.NumStates,
+			Tangible:  base.N,
+			Vanishing: base.NumVanishing(),
+		}
+	}
+
 	solveAt := func(chain *ctmc.CTMC, point []float64, warm []float64) (*Phase2Report, error) {
 		if err := chain.Rebind(point); err != nil {
 			return nil, err
@@ -83,12 +127,7 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 		if err != nil {
 			return nil, err
 		}
-		return &Phase2Report{
-			Values:    values,
-			States:    l.NumStates,
-			Tangible:  chain.N,
-			Vanishing: chain.NumVanishing(),
-		}, nil
+		return report(values), nil
 	}
 
 	// Anchor: the first point, solved cold on the base chain. Its solution
@@ -97,43 +136,49 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 	if err := base.Rebind(points[0]); err != nil {
 		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
 	}
-	anchorSolve := opts.Solve
-	anchorPi, err := base.SteadyState(anchorSolve)
+	anchorPi, err := base.SteadyState(opts.Solve)
 	if err != nil {
-		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
+		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", attribute(err, 0))
 	}
 	anchorValues, err := measure.EvalAll(measures, base, anchorPi)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
 	}
-	reports[0] = &Phase2Report{
-		Values:    anchorValues,
-		States:    l.NumStates,
-		Tangible:  base.N,
-		Vanishing: base.NumVanishing(),
-	}
-	if len(points) == 1 {
+	reports[0] = report(anchorValues)
+	rest := len(points) - 1
+	if rest == 0 {
 		return reports, nil
 	}
 
+	laneWidth := opts.LaneWidth
+	if laneWidth <= 0 {
+		laneWidth = DefaultLaneWidth
+	}
+	if laneWidth > rest {
+		laneWidth = rest
+	}
+	if laneWidth > 1 {
+		return sweepBatched(base, measures, points, opts, reports, anchorPi, laneWidth, report, attribute)
+	}
+
 	workers := opts.Workers
-	if workers <= 1 || len(points) == 2 {
-		// Sequential path: reuse the base chain for every point.
+	if workers <= 1 || rest == 1 {
+		// Sequential per-point path: reuse the base chain for every point.
 		for i := 1; i < len(points); i++ {
 			rep, err := solveAt(base, points[i], anchorPi)
 			if err != nil {
-				return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", i, err)
+				return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", i, attribute(err, i))
 			}
 			reports[i] = rep
 		}
 		return reports, nil
 	}
 
-	// Parallel path: each worker owns a private clone of the built chain
-	// and rebinds it per point. Points are claimed in ascending order; any
-	// failure wins by lowest point index so the reported error matches the
-	// sequential run's.
-	if rest := len(points) - 1; workers > rest {
+	// Parallel per-point path: each worker owns a private clone of the
+	// built chain and rebinds it per point. Points are claimed in ascending
+	// order; any failure wins by lowest point index so the reported error
+	// matches the sequential run's.
+	if workers > rest {
 		workers = rest
 	}
 	var (
@@ -172,10 +217,134 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 				}
 				rep, err := solveAt(chain, points[i], anchorPi)
 				if err != nil {
-					fail(i, err)
+					fail(i, attribute(err, i))
 					return
 				}
 				reports[i] = rep
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", failIdx, failErr)
+	}
+	return reports, nil
+}
+
+// sweepBatched solves the non-anchor points of a sweep through the batched
+// kernel: points[1:] are packed in index order into chunks of laneWidth
+// lanes, each chunk is one ctmc.SolveBatch call seeded from the anchor
+// solution, and the chunk's reports are then evaluated in lane order (the
+// measure evaluation rebinds the chain to each point's rates, as the
+// per-point path does). Chunks are independent — every lane seeds from the
+// anchor, never from a chunk-mate — so chunk-level workers change nothing
+// but wall-clock time, and a failure is attributed to the lowest failed
+// global point index, matching the per-point paths.
+func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float64, opts SweepOptions,
+	reports []*Phase2Report, anchorPi []float64, laneWidth int,
+	report func(map[string]float64) *Phase2Report, attribute func(error, int) error) ([]*Phase2Report, error) {
+
+	// translate maps a SolveBatch failure of the chunk at offset off to
+	// its global point index and the unwrapped per-lane error.
+	translate := func(err error, off int) (int, error) {
+		idx := off
+		var bpe *ctmc.BatchPointError
+		if errors.As(err, &bpe) {
+			idx = off + bpe.Point
+			err = bpe.Err
+		}
+		return idx, attribute(err, idx)
+	}
+
+	// solveChunk solves points[off:off+width] on the given chain and fills
+	// their reports. It returns the failed global point index and error.
+	solveChunk := func(chain *ctmc.CTMC, off, width int) (int, error) {
+		solve := opts.Solve
+		solve.WarmStart = anchorPi
+		pis, err := chain.SolveBatch(points[off:off+width], ctmc.BatchOptions{Solve: solve})
+		if err != nil {
+			return translate(err, off)
+		}
+		for lane, pi := range pis {
+			i := off + lane
+			if err := chain.Rebind(points[i]); err != nil {
+				return i, err
+			}
+			values, err := measure.EvalAll(measures, chain, pi)
+			if err != nil {
+				return i, err
+			}
+			reports[i] = report(values)
+		}
+		return 0, nil
+	}
+
+	nChunks := (len(points) - 2 + laneWidth) / laneWidth // points[1:] in chunks of laneWidth
+	chunkAt := func(ch int) (int, int) {
+		off := 1 + ch*laneWidth
+		width := laneWidth
+		if off+width > len(points) {
+			width = len(points) - off
+		}
+		return off, width
+	}
+
+	workers := opts.Workers
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		for ch := 0; ch < nChunks; ch++ {
+			off, width := chunkAt(ch)
+			if idx, err := solveChunk(base, off, width); err != nil {
+				return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", idx, err)
+			}
+		}
+		return reports, nil
+	}
+
+	// Chunk-parallel path: each worker owns a private clone; chunks are
+	// claimed in ascending order and the lowest failed point index wins,
+	// matching the sequential chunk loop.
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		next    int
+		failIdx = len(points)
+		failErr error
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if failErr != nil || next >= nChunks {
+			return -1
+		}
+		ch := next
+		next++
+		return ch
+	}
+	fail := func(idx int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failErr == nil || idx < failIdx {
+			failIdx, failErr = idx, err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chain := base.Clone()
+			for {
+				ch := claim()
+				if ch < 0 {
+					return
+				}
+				off, width := chunkAt(ch)
+				if idx, err := solveChunk(chain, off, width); err != nil {
+					fail(idx, err)
+					return
+				}
 			}
 		}()
 	}

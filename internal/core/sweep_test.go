@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/ctmc"
@@ -238,6 +239,87 @@ func TestPhase2SweepDeterministicAndFresh(t *testing.T) {
 			if rel > 1e-6 {
 				t.Errorf("timeout %v measure %s: sweep %v vs fresh %v (rel %g)", T, name, got, want, rel)
 			}
+		}
+	}
+}
+
+// TestPhase2SweepLaneWidths checks the batched sweep engine: reports are
+// bit-identical at every lane width (per-point path included) crossed with
+// every worker count, on both paper models.
+func TestPhase2SweepLaneWidths(t *testing.T) {
+	type variant struct {
+		name     string
+		model    *elab.Model
+		measures []measure.Measure
+		knobs    []float64
+	}
+	pp := models.DefaultRPCParams()
+	pp.ParametricTimeout = true
+	sp := quickStreamingParams()
+	sp.ParametricPeriod = true
+	variants := []variant{
+		{"rpc", elaborateRPC(t, pp), models.RPCMeasures(pp), []float64{0.5, 1, 2, 5, 7.5, 10, 15, 20, 25}},
+		{"streaming", elaborateStreaming(t, sp), models.StreamingMeasures(sp), []float64{5, 25, 50, 100, 200, 400, 600, 800}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			points := make([][]float64, len(v.knobs))
+			for i, k := range v.knobs {
+				points[i] = []float64{1 / k}
+			}
+			base, err := Phase2Sweep(v.model, v.measures, points, SweepOptions{LaneWidth: 1, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, laneWidth := range []int{0, 3, 8} {
+				for _, workers := range []int{1, 8} {
+					reps, err := Phase2Sweep(v.model, v.measures, points, SweepOptions{LaneWidth: laneWidth, Workers: workers})
+					if err != nil {
+						t.Fatalf("lanes=%d workers=%d: %v", laneWidth, workers, err)
+					}
+					for i := range points {
+						for name, want := range base[i].Values {
+							if got := reps[i].Values[name]; got != want {
+								t.Errorf("lanes=%d workers=%d point %d measure %s: %v != %v (must be bit-identical)",
+									laneWidth, workers, i, name, got, want)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPhase2SweepConvergenceErrorPoint pins the failure attribution of the
+// sweep: a failed solve surfaces a ConvergenceError carrying the global
+// sweep-point index and rate vector, and the wrapping message names the
+// same point, on both the per-point and the batched path.
+func TestPhase2SweepConvergenceErrorPoint(t *testing.T) {
+	pp := models.DefaultRPCParams()
+	pp.ParametricTimeout = true
+	m := elaborateRPC(t, pp)
+	points := [][]float64{{1. / 5}, {1. / 2}, {1. / 25}}
+	for _, laneWidth := range []int{1, 8} {
+		_, err := Phase2Sweep(m, models.RPCMeasures(pp), points, SweepOptions{
+			LaneWidth: laneWidth,
+			Solve:     ctmc.SolveOptions{MaxIterations: 2},
+		})
+		if !errors.Is(err, ctmc.ErrNoConvergence) {
+			t.Fatalf("lanes=%d: want ErrNoConvergence, got %v", laneWidth, err)
+		}
+		var ce *ctmc.ConvergenceError
+		if !errors.As(err, &ce) {
+			t.Fatalf("lanes=%d: want *ConvergenceError, got %v", laneWidth, err)
+		}
+		if ce.Point != 0 {
+			t.Errorf("lanes=%d: Point = %d, want 0 (the anchor fails first)", laneWidth, ce.Point)
+		}
+		if len(ce.Params) != 1 || ce.Params[0] != points[0][0] {
+			t.Errorf("lanes=%d: Params = %v, want %v", laneWidth, ce.Params, points[0])
+		}
+		if !strings.Contains(err.Error(), "point 0") {
+			t.Errorf("lanes=%d: error text %q should name point 0", laneWidth, err)
 		}
 	}
 }

@@ -86,6 +86,13 @@ type CTMC struct {
 	// epsilon); see TransientFrom. Guarded by poissonMu.
 	poissonMu sync.Mutex
 	poisson   map[poissonKey][]float64
+
+	// plan caches the structural solve analysis (reachable bottom
+	// component and its incoming-CSR skeleton). Rate-only rebinds cannot
+	// change it, so Clone shares the pointer and the analysis runs once
+	// per built structure however many clones a sweep solves. See
+	// solvePlan and InvalidatePlan.
+	plan *solvePlan
 }
 
 // rateTerm is one contribution to a generator entry. A slot-0 term is a
@@ -147,7 +154,7 @@ func (e *RebindError) Unwrap() error {
 // Build extracts the CTMC from a rated LTS.
 func Build(l *lts.LTS) (*CTMC, error) {
 	n := l.NumStates
-	c := &CTMC{l: l}
+	c := &CTMC{l: l, plan: &solvePlan{}}
 
 	// Classify states.
 	isVanishing := make([]bool, n)
@@ -455,8 +462,21 @@ func (c *CTMC) Rebind(values []float64) error {
 	c.poissonMu.Lock()
 	c.poisson = nil
 	c.poissonMu.Unlock()
+	if EnableDebugChecks {
+		if err := c.debugCheckPlan(); err != nil {
+			panic(err)
+		}
+	}
 	return nil
 }
+
+// EnableDebugChecks turns on expensive internal consistency assertions —
+// currently the post-Rebind check that the cached structural solve plan
+// still matches a from-scratch analysis (a rate-only rebind must preserve
+// reachability and SCC structure; a violation panics, since it means the
+// rebind validation let a structural change through). The property tests
+// enable it; production callers leave it off.
+var EnableDebugChecks = false
 
 // Clone returns a chain that shares all immutable structure with c (the
 // LTS, vanishing bookkeeping, tangible indexing, contribution terms) but
@@ -480,6 +500,7 @@ func (c *CTMC) Clone() *CTMC {
 		termStart:  c.termStart,
 		terms:      c.terms,
 		expSlots:   c.expSlots,
+		plan:       c.plan,
 	}
 	for i, row := range c.Rows {
 		out.Rows[i] = append([]Entry(nil), row...)

@@ -1,0 +1,15 @@
+//go:build amd64
+
+package ctmc
+
+// SetAVXForTest toggles the vectorized eight-lane sweep kernel and
+// returns the previous setting, so the external tests can run the asm
+// and scalar kernels against each other on the same machine.
+func SetAVXForTest(on bool) bool {
+	prev := haveAVX
+	haveAVX = on
+	return prev
+}
+
+// HaveAVXForTest reports whether the vectorized kernel is usable here.
+func HaveAVXForTest() bool { return haveAVX }

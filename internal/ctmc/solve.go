@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 )
 
 // Sweep selects the iteration scheme SteadyState uses on the recurrent
@@ -88,23 +89,37 @@ type ConvergenceError struct {
 	// Sweep is the iteration scheme that failed (SweepGaussSeidel or
 	// SweepJacobi, never SweepAuto).
 	Sweep Sweep
+	// Point is the sweep-point index the failed solve belongs to, or -1
+	// when the solve was not part of a sweep. SolveBatch sets it to the
+	// batch-local lane; core.Phase2Sweep rewrites it to the global
+	// sweep-point index, so a failed point in a 100-point grid is
+	// identifiable from the error alone.
+	Point int
+	// Params is the rate-slot vector of the failed sweep point (nil
+	// outside sweeps).
+	Params []float64
 }
 
 // Error implements the error interface.
 func (e *ConvergenceError) Error() string {
-	return fmt.Sprintf("%v after %d iterations (%s sweep, residual %.3g, tolerance %.3g)",
+	msg := fmt.Sprintf("%v after %d iterations (%s sweep, residual %.3g, tolerance %.3g)",
 		ErrNoConvergence, e.Iterations, e.Sweep, e.Residual, e.Tolerance)
+	if e.Point >= 0 {
+		msg += fmt.Sprintf(" at sweep point %d", e.Point)
+		if e.Params != nil {
+			msg += fmt.Sprintf(" %v", e.Params)
+		}
+	}
+	return msg
 }
 
 // Unwrap makes errors.Is(err, ErrNoConvergence) hold.
 func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
 
-// SteadyState computes the long-run probability distribution over tangible
-// states. The chain may be reducible as long as a single bottom strongly
-// connected component is reachable from the initial distribution (the
-// usual case for models with a start-up transient); probability then
-// concentrates on that component.
-func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
+// solveDefaults fills the zero-value solver options with the documented
+// defaults; SteadyState and SolveBatch resolve them identically so a
+// batched lane runs under exactly the configuration a solo solve would.
+func solveDefaults(opts SolveOptions) SolveOptions {
 	if opts.Tolerance <= 0 {
 		opts.Tolerance = 1e-12
 	}
@@ -117,53 +132,52 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 	if opts.JacobiThreshold <= 0 {
 		opts.JacobiThreshold = 1024
 	}
+	return opts
+}
 
-	bsccs := c.bottomSCCs()
-	reached := c.reachableFromInitial()
-	var target []int
-	for _, comp := range bsccs {
-		if reached[comp[0]] {
-			if target != nil {
-				return nil, ErrMultipleBSCC
-			}
-			target = comp
-		}
+// resolveSweep applies the SweepAuto rule to the resolved options: Jacobi
+// needs fewer wall-clock sweeps only when rows actually spread across
+// workers; damped Jacobi converges slower than Gauss-Seidel per sweep, so
+// with one worker — or a component too small to amortize the pool — the
+// sequential sweep wins.
+func resolveSweep(opts SolveOptions, componentSize int) Sweep {
+	if opts.Sweep != SweepAuto {
+		return opts.Sweep
 	}
-	if target == nil {
-		return nil, fmt.Errorf("ctmc: no reachable bottom component (internal error)")
+	if componentSize >= opts.JacobiThreshold && opts.Workers > 1 {
+		return SweepJacobi
+	}
+	return SweepGaussSeidel
+}
+
+// SteadyState computes the long-run probability distribution over tangible
+// states. The chain may be reducible as long as a single bottom strongly
+// connected component is reachable from the initial distribution (the
+// usual case for models with a start-up transient); probability then
+// concentrates on that component.
+func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
+	opts = solveDefaults(opts)
+	plan, err := c.ensurePlan()
+	if err != nil {
+		return nil, err
 	}
 
 	// An absorbing single state gets all the probability.
 	pi := make([]float64, c.N)
-	if len(target) == 1 {
-		pi[target[0]] = 1
+	if len(plan.target) == 1 {
+		pi[plan.target[0]] = 1
 		return pi, nil
 	}
 
-	comp := c.buildComponent(target)
-	start := comp.uniform()
+	comp := c.fillComponent(plan)
+	start := uniformStart(comp.n)
 	if len(opts.WarmStart) == c.N {
-		if ws := projectStart(opts.WarmStart, target); ws != nil {
+		if ws := projectStart(opts.WarmStart, plan.target); ws != nil {
 			start = ws
 		}
 	}
-	sweep := opts.Sweep
-	if sweep == SweepAuto {
-		// Jacobi needs fewer wall-clock sweeps only when rows actually
-		// spread across workers; damped Jacobi converges slower than
-		// Gauss-Seidel per sweep, so with one worker — or a component too
-		// small to amortize the pool — the sequential sweep wins.
-		if len(target) >= opts.JacobiThreshold && opts.Workers > 1 {
-			sweep = SweepJacobi
-		} else {
-			sweep = SweepGaussSeidel
-		}
-	}
-	var (
-		x   []float64
-		err error
-	)
-	if sweep == SweepJacobi {
+	var x []float64
+	if resolveSweep(opts, len(plan.target)) == SweepJacobi {
 		x, err = comp.jacobi(opts, start)
 		if err != nil && opts.Sweep == SweepAuto && errors.Is(err, ErrNoConvergence) {
 			// Auto mode falls back to the sequential sweep: Gauss-Seidel's
@@ -177,7 +191,7 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	for j, s := range target {
+	for j, s := range plan.target {
 		pi[s] = x[j]
 	}
 	return pi, nil
@@ -196,53 +210,229 @@ type component struct {
 	inFrom  []int32
 	inRate  []float64
 	exit    []float64
+	// invExit is 1/exit (0 where exit is 0), computed once per fill: the
+	// sweeps' per-row division is a multiplication by the reciprocal, paid
+	// once per solve instead of once per row per iteration.
+	invExit []float64
 }
 
-func (c *CTMC) buildComponent(target []int) *component {
-	inComp := make([]bool, c.N)
-	local := make([]int, c.N) // global -> local index
-	for li, s := range target {
-		inComp[s] = true
-		local[s] = li
-	}
-	p := &component{n: len(target)}
-	p.inStart = make([]int32, len(target)+1)
-	for _, s := range target {
-		for _, e := range c.Rows[s] {
-			if inComp[e.Col] {
-				p.inStart[local[e.Col]+1]++
-			}
-		}
-	}
-	for j := 0; j < len(target); j++ {
-		p.inStart[j+1] += p.inStart[j]
-	}
-	p.inFrom = make([]int32, p.inStart[len(target)])
-	p.inRate = make([]float64, p.inStart[len(target)])
-	fill := make([]int32, len(target))
-	copy(fill, p.inStart[:len(target)])
-	for _, s := range target {
-		for _, e := range c.Rows[s] {
-			if inComp[e.Col] {
-				j := local[e.Col]
-				p.inFrom[fill[j]] = int32(local[s])
-				p.inRate[fill[j]] = e.Rate
-				fill[j]++
-			}
-		}
-	}
-	p.exit = make([]float64, len(target))
-	for j, s := range target {
-		p.exit[j] = c.Exit[s]
-	}
-	return p
+// residualGuard is the conservative skip margin of the running-residual
+// update: a row's relative step d/m is divided out only when d exceeds
+// the current maximum scaled by m and shrunk by a few ulps. When the
+// guard rejects, fl(d/m) provably cannot exceed the running maximum
+// (d ≤ fl(fl(max·m)·guard) implies d/m ≤ max·(1−10⁻¹³)·(1+3ε) < max), so
+// the final residual is the exact maximum of the per-row fl(d/m) values —
+// independent of which rows happened to divide, and hence of any row
+// partition across Jacobi workers or batch tiles.
+const residualGuard = 1 - 1e-13
+
+// solvePlan caches the structural half of a steady-state solve: the
+// reachable bottom component and the incoming-CSR index skeleton of its
+// balance equations, plus the traversal metadata that lets a solve — or a
+// batched solve — gather the chain's current rate values into that
+// skeleton without re-running Tarjan, reachability, or the fill-position
+// computation. The analysis depends only on the chain's structure (state
+// classification, row columns, initial support), which a rate-only Rebind
+// provably preserves: every slot value is validated positive and finite,
+// so no edge appears or disappears. One plan therefore serves every
+// rebind of a chain and all its Clones; it is computed lazily on first
+// solve and shared by pointer across clones.
+type solvePlan struct {
+	once sync.Once
+	err  error
+
+	// target is the reachable bottom SCC in its Tarjan emission order —
+	// the same order the uncached solver produced, so local indexing and
+	// every downstream floating-point accumulation are unchanged.
+	target []int
+	// inStart/inFrom are the component's incoming CSR index arrays: the
+	// incoming edges of local state j are inFrom[inStart[j]:inStart[j+1]].
+	// They are shared read-only by every solve; the per-solve rate values
+	// are gathered by fillComponent (or fillBatch) into fresh arrays.
+	inStart []int32
+	inFrom  []int32
+	// fillPos maps the canonical traversal — target rows in order, row
+	// entries in column-ascending order — to positions in the incoming
+	// rate array: traversal step t writes its entry's rate at fillPos[t]
+	// (-1 for an entry leaving the component, which a bottom SCC never
+	// has; kept for defensiveness).
+	fillPos []int32
+	// rowEntryBase[li] is the global generator-entry index (row-major over
+	// all tangible rows) of the first entry of target row li, which gives
+	// batched solves the termStart window of any component entry.
+	rowEntryBase []int32
+	// hash fingerprints the structural analysis (FNV-1a over target,
+	// inStart, inFrom) for the debug assertion that a rate-only rebind
+	// left the structure untouched.
+	hash uint64
 }
 
-// uniform returns the default uniform starting vector.
-func (p *component) uniform() []float64 {
-	x := make([]float64, p.n)
+// ensurePlan returns the chain's cached solve plan, computing it on first
+// use. Clones share the plan pointer, so the analysis runs once per built
+// structure however many clones sweep it concurrently (sync.Once).
+func (c *CTMC) ensurePlan() (*solvePlan, error) {
+	p := c.plan
+	if p == nil {
+		// Chains assembled without Build (tests) get a private holder.
+		p = &solvePlan{}
+		c.plan = p
+	}
+	p.once.Do(func() { p.build(c) })
+	return p, p.err
+}
+
+// build runs the structural analysis: bottom SCCs, reachability, target
+// selection, and the component's incoming-CSR skeleton. It reads only
+// structure (row columns, initial support) — never rate values.
+func (p *solvePlan) build(c *CTMC) {
+	bsccs := c.bottomSCCs()
+	reached := c.reachableFromInitial()
+	var target []int
+	for _, comp := range bsccs {
+		if reached[comp[0]] {
+			if target != nil {
+				p.err = ErrMultipleBSCC
+				return
+			}
+			target = comp
+		}
+	}
+	if target == nil {
+		p.err = fmt.Errorf("ctmc: no reachable bottom component (internal error)")
+		return
+	}
+	p.target = target
+	if len(target) > 1 {
+		inComp := make([]bool, c.N)
+		local := make([]int32, c.N) // global -> local index
+		for li, s := range target {
+			inComp[s] = true
+			local[s] = int32(li)
+		}
+		p.inStart = make([]int32, len(target)+1)
+		for _, s := range target {
+			for _, e := range c.Rows[s] {
+				if inComp[e.Col] {
+					p.inStart[local[e.Col]+1]++
+				}
+			}
+		}
+		for j := 0; j < len(target); j++ {
+			p.inStart[j+1] += p.inStart[j]
+		}
+		p.inFrom = make([]int32, p.inStart[len(target)])
+		p.fillPos = make([]int32, 0, len(p.inFrom))
+		fill := make([]int32, len(target))
+		copy(fill, p.inStart[:len(target)])
+		for _, s := range target {
+			for _, e := range c.Rows[s] {
+				if inComp[e.Col] {
+					j := local[e.Col]
+					p.inFrom[fill[j]] = local[s]
+					p.fillPos = append(p.fillPos, fill[j])
+					fill[j]++
+				} else {
+					p.fillPos = append(p.fillPos, -1)
+				}
+			}
+		}
+		// Global entry index of each target row's first entry, for term
+		// lookups in batched solves.
+		base := int32(0)
+		baseOf := make([]int32, c.N)
+		for s := 0; s < c.N; s++ {
+			baseOf[s] = base
+			base += int32(len(c.Rows[s]))
+		}
+		p.rowEntryBase = make([]int32, len(target))
+		for li, s := range target {
+			p.rowEntryBase[li] = baseOf[s]
+		}
+	}
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211 // FNV-1a prime
+			v >>= 8
+		}
+	}
+	for _, s := range p.target {
+		mix(uint64(s))
+	}
+	for _, v := range p.inStart {
+		mix(uint64(uint32(v)))
+	}
+	for _, v := range p.inFrom {
+		mix(uint64(uint32(v)))
+	}
+	p.hash = h
+}
+
+// debugCheckPlan recomputes the structural analysis from scratch and
+// compares its fingerprint with the cached plan's. Rebind calls it when
+// EnableDebugChecks is set: a rate-only rebind must leave reachability and
+// SCC structure — and therefore the cached plan — untouched.
+func (c *CTMC) debugCheckPlan() error {
+	p, err := c.ensurePlan()
+	if err != nil {
+		return nil // the cached analysis failed; nothing to compare
+	}
+	fresh := &solvePlan{}
+	fresh.build(c)
+	if fresh.err != nil {
+		return fmt.Errorf("ctmc: structural solve analysis fails after a rate-only rebind: %w", fresh.err)
+	}
+	if fresh.hash != p.hash {
+		return fmt.Errorf("ctmc: structural solve plan changed across a rate-only rebind (hash %#x -> %#x)", p.hash, fresh.hash)
+	}
+	return nil
+}
+
+// InvalidatePlan drops this handle's cached structural solve analysis; the
+// next solve recomputes it. Rate-only rebinds never need this — the
+// analysis is structural and rebinds cannot change it — but callers that
+// mutate Rows directly (tests), and benchmarks that measure the uncached
+// per-solve path, use it. Clones keep the plan they already share.
+func (c *CTMC) InvalidatePlan() { c.plan = &solvePlan{} }
+
+// fillComponent gathers the chain's current rate values into the plan's
+// component skeleton. The traversal replays the uncached builder's fill
+// loop — target rows in order, entries in column-ascending order — so the
+// inRate array is element-for-element identical to the one a from-scratch
+// component build produces.
+func (c *CTMC) fillComponent(p *solvePlan) *component {
+	comp := &component{
+		n:       len(p.target),
+		inStart: p.inStart,
+		inFrom:  p.inFrom,
+		inRate:  make([]float64, len(p.inFrom)),
+		exit:    make([]float64, len(p.target)),
+		invExit: make([]float64, len(p.target)),
+	}
+	t := 0
+	for _, s := range p.target {
+		for _, e := range c.Rows[s] {
+			if pos := p.fillPos[t]; pos >= 0 {
+				comp.inRate[pos] = e.Rate
+			}
+			t++
+		}
+	}
+	for li, s := range p.target {
+		comp.exit[li] = c.Exit[s]
+		if comp.exit[li] > 0 {
+			comp.invExit[li] = 1 / comp.exit[li]
+		}
+	}
+	return comp
+}
+
+// uniformStart returns the default uniform starting vector over n states.
+func uniformStart(n int) []float64 {
+	x := make([]float64, n)
 	for i := range x {
-		x[i] = 1 / float64(p.n)
+		x[i] = 1 / float64(n)
 	}
 	return x
 }
@@ -288,29 +478,33 @@ func (p *component) gaussSeidel(opts SolveOptions, start []float64) ([]float64, 
 			for k := p.inStart[j]; k < p.inStart[j+1]; k++ {
 				inflow += x[p.inFrom[k]] * p.inRate[k]
 			}
-			next := inflow / p.exit[j]
+			next := inflow * p.invExit[j]
 			d := math.Abs(next - x[j])
-			if rel := d / math.Max(next, 1e-300); rel > maxDelta {
-				maxDelta = rel
+			if m := math.Max(next, 1e-300); d > maxDelta*m*residualGuard {
+				if rel := d / m; rel > maxDelta {
+					maxDelta = rel
+				}
 			}
 			x[j] = next
 		}
-		// Normalize to avoid drift.
+		// Normalize to avoid drift: one canonical sequential sum, one
+		// reciprocal, one multiply pass.
 		sum := 0.0
 		for _, v := range x {
 			sum += v
 		}
 		if sum <= 0 {
-			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel}
+			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel, Point: -1}
 		}
+		inv := 1 / sum
 		for j := range x {
-			x[j] /= sum
+			x[j] *= inv
 		}
 		if maxDelta < opts.Tolerance {
 			return x, nil
 		}
 	}
-	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel}
+	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel, Point: -1}
 }
 
 // jacobiOmega damps the Jacobi update: x' = (1-ω)·x + ω·inflow/exit.
@@ -353,10 +547,13 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 				for k := p.inStart[j]; k < p.inStart[j+1]; k++ {
 					inflow += x[p.inFrom[k]] * p.inRate[k]
 				}
-				nx = (1-jacobiOmega)*x[j] + jacobiOmega*(inflow/p.exit[j])
+				nx = (1-jacobiOmega)*x[j] + jacobiOmega*(inflow*p.invExit[j])
 			}
-			if rel := math.Abs(nx-x[j]) / math.Max(nx, 1e-300); rel > d {
-				d = rel
+			dd := math.Abs(nx - x[j])
+			if m := math.Max(nx, 1e-300); dd > d*m*residualGuard {
+				if rel := dd / m; rel > d {
+					d = rel
+				}
 			}
 			next[j] = nx
 		}
@@ -406,7 +603,7 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 			sum += v
 		}
 		if sum <= 0 {
-			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi}
+			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi, Point: -1}
 		}
 		inv := 1 / sum
 		for j := range next {
@@ -417,7 +614,7 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 			return x, nil
 		}
 	}
-	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi}
+	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi, Point: -1}
 }
 
 // reachableFromInitial returns the set of tangible states reachable from

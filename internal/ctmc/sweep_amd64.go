@@ -1,0 +1,94 @@
+//go:build amd64
+
+package ctmc
+
+import "unsafe"
+
+// sweepGS8Args marshals one eight-lane Gauss-Seidel sweep for the
+// vectorized kernel. Every field is one 8-byte word; the assembly loads
+// them at fixed offsets (0, 8, 16, ... in declaration order), so the
+// field order here and in sweep_amd64.s must stay in sync.
+type sweepGS8Args struct {
+	n        int64          // rows in the component
+	inStart  unsafe.Pointer // *int32, n+1 CSR row boundaries
+	inFrom   unsafe.Pointer // *int32, in-edge source rows
+	rate     unsafe.Pointer // *float64, lane-interleaved in-edge rates
+	invExit  unsafe.Pointer // *float64, lane-interleaved 1/exit
+	x        unsafe.Pointer // *float64, lane-interleaved iterate slab
+	delta    unsafe.Pointer // *float64, 8 per-lane residual maxima (out)
+	dead     unsafe.Pointer // *uint64, 8 blend masks: sign bit set = lane frozen
+	liveMask uint64         // bit k set = lane k live
+}
+
+// sweepGS8AVX runs one full eight-lane Gauss-Seidel sweep with AVX:
+// two 4-double accumulator vectors per row, VMULPD/VADDPD for the inflow
+// terms, VMULPD by the inverse exit rate, and the residual guard as a
+// vector compare whose rare hits fall back to scalar divides. Every
+// operation is the same IEEE-754 double multiply/add/subtract the scalar
+// kernel performs, per lane in the same order (no FMA contraction, no
+// reassociation), so the updated slab and residual maxima are
+// bit-identical to sweepGS8. Frozen lanes are excluded by blending their
+// old column values back on store and masking them out of the residual
+// compare. Implemented in sweep_amd64.s.
+//
+//go:noescape
+func sweepGS8AVX(a *sweepGS8Args)
+
+// cpuidLeaf and xgetbv0 are the tiny assembly probes behind detectAVX.
+//
+//go:noescape
+func cpuidLeaf(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// haveAVX reports whether the CPU and the OS both support 256-bit AVX
+// state, the only ISA extension sweepGS8AVX needs.
+var haveAVX = detectAVX()
+
+func detectAVX() bool {
+	maxLeaf, _, _, _ := cpuidLeaf(0, 0)
+	if maxLeaf < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidLeaf(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	return xcr0&6 == 6 // XMM and YMM state enabled by the OS
+}
+
+// sweepGS8Fast runs the sweep in the vectorized kernel when the machine
+// supports it, reporting whether it did. Rows with zero exit rate never
+// occur in a multi-state bottom component, but the scalar kernels guard
+// against them per row; the vector kernel instead declines such batches
+// up front (allPos), keeping the guarded behaviour on one path.
+func (bc *batchComponent) sweepGS8Fast(x, delta []float64, done []bool) bool {
+	if !haveAVX || !bc.allPos || bc.n == 0 || len(bc.inFrom) == 0 {
+		return false
+	}
+	var dead [8]uint64
+	live := uint64(0)
+	for k := 0; k < 8; k++ {
+		if done[k] {
+			dead[k] = 1 << 63
+		} else {
+			live |= 1 << k
+		}
+	}
+	a := sweepGS8Args{
+		n:        int64(bc.n),
+		inStart:  unsafe.Pointer(&bc.inStart[0]),
+		inFrom:   unsafe.Pointer(&bc.inFrom[0]),
+		rate:     unsafe.Pointer(&bc.rate[0]),
+		invExit:  unsafe.Pointer(&bc.invExit[0]),
+		x:        unsafe.Pointer(&x[0]),
+		delta:    unsafe.Pointer(&delta[0]),
+		dead:     unsafe.Pointer(&dead[0]),
+		liveMask: live,
+	}
+	sweepGS8AVX(&a)
+	return true
+}

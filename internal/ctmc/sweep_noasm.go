@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package ctmc
+
+// sweepGS8Fast has no vectorized kernel on this architecture; the caller
+// falls back to the scalar sweepGS8, which computes the identical bits.
+func (bc *batchComponent) sweepGS8Fast(x, delta []float64, done []bool) bool {
+	return false
+}

@@ -56,11 +56,7 @@ func rpcTimeoutSweep(timeouts []float64) ([]*core.Phase2Report, error) {
 	for i, T := range timeouts {
 		points[i] = []float64{1 / T}
 	}
-	return core.Phase2Sweep(m, models.RPCMeasures(p), points, core.SweepOptions{
-		Gen:     genOpts(),
-		Solve:   solveOpts(),
-		Workers: workersOr(0),
-	})
+	return core.Phase2Sweep(m, models.RPCMeasures(p), points, sweepOpts())
 }
 
 // Fig3Markov reproduces the left-hand side of paper Fig. 3: the Markovian

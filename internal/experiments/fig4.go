@@ -74,11 +74,7 @@ func streamingPeriodSweep(periods []float64, scale Scale) ([]*core.Phase2Report,
 	for i, P := range periods {
 		points[i] = []float64{1 / P}
 	}
-	return core.Phase2Sweep(m, models.StreamingMeasures(p), points, core.SweepOptions{
-		Gen:     genOpts(),
-		Solve:   solveOpts(),
-		Workers: workersOr(0),
-	})
+	return core.Phase2Sweep(m, models.StreamingMeasures(p), points, sweepOpts())
 }
 
 // Fig4Markov reproduces paper Fig. 4: the Markovian streaming comparison

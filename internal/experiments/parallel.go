@@ -30,6 +30,14 @@ var DefaultWorkers = runtime.NumCPU()
 // threshold, parallel Jacobi above).
 var DefaultSolve ctmc.SolveOptions
 
+// DefaultLaneWidth is the sweep-batching lane width the Markovian sweeps
+// pass to core.Phase2Sweep: 0 lets the sweep auto-select
+// (core.DefaultLaneWidth points per batched solve), 1 forces the
+// per-point solver path, any other value is used as given. The cmd/ study
+// tools override it from their -lanes flag. Results are bit-identical at
+// any value.
+var DefaultLaneWidth = 0
+
 // genOpts is the generation configuration the sweeps hand to lts.Generate
 // and core.Phase2ModelSolve: the package worker default applied to the
 // frontier-expansion pool.
@@ -45,6 +53,18 @@ func solveOpts() ctmc.SolveOptions {
 		s.Workers = workersOr(0)
 	}
 	return s
+}
+
+// sweepOpts is the rate-parametric sweep configuration the Markovian
+// sweeps hand to core.Phase2Sweep: the generation, solver, worker, and
+// batching-lane-width defaults of the package.
+func sweepOpts() core.SweepOptions {
+	return core.SweepOptions{
+		Gen:       genOpts(),
+		Solve:     solveOpts(),
+		Workers:   workersOr(0),
+		LaneWidth: DefaultLaneWidth,
+	}
 }
 
 // workersOr resolves an explicit worker count against the package

@@ -19,6 +19,13 @@
 #               timeout sweep, per-point pipeline vs generate-once rebind)
 #               and write results/BENCH_sweepreuse.json with the median
 #               ns/op of each side and the per-point speedup ratio.
+#   -B          batch-solve mode: time the BenchmarkBatchSolve* six
+#               (16-point sweep on the rpc and streaming chains: rebind +
+#               per-point solve, per-point with the cached plan, and the
+#               batched eight-lane SolveBatch) and write
+#               results/BENCH_batchsolve.json with the median ns/op of
+#               each variant and the per-model and aggregate speedups of
+#               the batched kernel over the per-point path.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,19 +34,23 @@ count=5
 pattern="."
 smoke=0
 sweepjson=0
-while getopts "r:c:p:sS" opt; do
+batchjson=0
+while getopts "r:c:p:sSB" opt; do
     case "$opt" in
     r) ref=$OPTARG ;;
     c) count=$OPTARG ;;
     p) pattern=$OPTARG ;;
     s) smoke=1 ;;
     S) sweepjson=1 ;;
-    *) echo "usage: $0 [-r ref] [-c count] [-p pattern] [-s] [-S]" >&2; exit 2 ;;
+    B) batchjson=1 ;;
+    *) echo "usage: $0 [-r ref] [-c count] [-p pattern] [-s] [-S] [-B]" >&2; exit 2 ;;
     esac
 done
 
 if [ "$smoke" = 1 ]; then
-    exec go test -race -run '^$' -bench "$pattern" -benchtime 1x -cpu 1,2 ./...
+    # -timeout 30m: one race-instrumented iteration of the solver benches
+    # can exceed go test's default 10m on a small CI box.
+    exec go test -race -run '^$' -bench "$pattern" -benchtime 1x -cpu 1,2 -timeout 30m ./...
 fi
 
 if [ "$sweepjson" = 1 ]; then
@@ -81,6 +92,67 @@ if [ "$sweepjson" = 1 ]; then
     }' > results/BENCH_sweepreuse.json
     echo "== results/BENCH_sweepreuse.json =="
     cat results/BENCH_sweepreuse.json
+    exit 0
+fi
+
+if [ "$batchjson" = 1 ]; then
+    out=$(mktemp)
+    trap 'rm -f "$out"' EXIT
+    benchtime=5x
+    echo "== bench: batched solver (benchtime $benchtime, count $count) =="
+    go test -run '^$' -bench 'BatchSolve(RPC|Streaming)(PerPoint|CachedPoint|Batched)$' \
+        -benchtime "$benchtime" -count "$count" . | tee "$out"
+    median() {
+        awk -v name="$1" '$1 == "Benchmark"name {print $3}' "$out" |
+            sort -n | awk '{v[NR]=$1} END {
+                if (NR == 0) { print "error: no samples" > "/dev/stderr"; exit 1 }
+                print v[int((NR+1)/2)]
+            }'
+    }
+    rpc_pp=$(median BatchSolveRPCPerPoint)
+    rpc_cp=$(median BatchSolveRPCCachedPoint)
+    rpc_b=$(median BatchSolveRPCBatched)
+    str_pp=$(median BatchSolveStreamingPerPoint)
+    str_cp=$(median BatchSolveStreamingCachedPoint)
+    str_b=$(median BatchSolveStreamingBatched)
+    cpu=$(awk -F': ' '/^cpu:/ {print $2; exit}' "$out")
+    mkdir -p results
+    awk -v rpc_pp="$rpc_pp" -v rpc_cp="$rpc_cp" -v rpc_b="$rpc_b" \
+        -v str_pp="$str_pp" -v str_cp="$str_cp" -v str_b="$str_b" \
+        -v cpu="$cpu" -v cores="$(getconf _NPROCESSORS_ONLN)" \
+        -v go="$(go env GOVERSION)" -v os="$(go env GOOS)/$(go env GOARCH)" \
+        -v benchtime="$benchtime, count $count (median reported)" 'BEGIN {
+        printf "{\n"
+        printf "  \"description\": \"Cost of a 16-point Markovian rate sweep, per-point solves vs the batched multi-lane kernel. All variants solve the same 16 points on the same prebuilt chain, every lane warm-started from the anchor-point solution, and are pinned bit-identical by the property tests. per_point re-runs the PR 5 path per point: invalidate the cached solve plan, Rebind, solo SteadyState. cached_point keeps the solve-plan cache (this PR) but still solves points one at a time. batched solves the points in eight-lane SolveBatch calls: one CSR traversal per sweep feeds all lanes (vectorized on amd64), finished lanes deactivate and the batch compacts to narrower kernels. Ratios are per-model ns/op quotients; the aggregate is total per-point time over total batched time across both models.\",\n"
+        printf "  \"environment\": {\n"
+        printf "    \"cpu\": \"%s\",\n", cpu
+        printf "    \"cores\": %d,\n", cores
+        printf "    \"go\": \"%s\",\n", go
+        printf "    \"os\": \"%s\"\n", os
+        printf "  },\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"sweep\": \"16 points, 8 lanes per SolveBatch call, tolerance 1e-12\",\n"
+        printf "  \"rpc\": {\n"
+        printf "    \"model\": \"revised rpc, parametric shutdown timeout\",\n"
+        printf "    \"per_point_ns_per_op\": %d,\n", rpc_pp
+        printf "    \"cached_point_ns_per_op\": %d,\n", rpc_cp
+        printf "    \"batched_ns_per_op\": %d,\n", rpc_b
+        printf "    \"speedup_vs_per_point\": %.2f,\n", rpc_pp / rpc_b
+        printf "    \"speedup_vs_cached_point\": %.2f\n", rpc_cp / rpc_b
+        printf "  },\n"
+        printf "  \"streaming\": {\n"
+        printf "    \"model\": \"streaming, parametric awake period\",\n"
+        printf "    \"per_point_ns_per_op\": %d,\n", str_pp
+        printf "    \"cached_point_ns_per_op\": %d,\n", str_cp
+        printf "    \"batched_ns_per_op\": %d,\n", str_b
+        printf "    \"speedup_vs_per_point\": %.2f,\n", str_pp / str_b
+        printf "    \"speedup_vs_cached_point\": %.2f\n", str_cp / str_b
+        printf "  },\n"
+        printf "  \"aggregate_speedup_vs_per_point\": %.2f\n", (rpc_pp + str_pp) / (rpc_b + str_b)
+        printf "}\n"
+    }' > results/BENCH_batchsolve.json
+    echo "== results/BENCH_batchsolve.json =="
+    cat results/BENCH_batchsolve.json
     exit 0
 fi
 

@@ -32,11 +32,15 @@ echo "== bench smoke =="
 go test -run '^$' -bench . -benchtime 1x ./...
 
 # Race smoke of the parallel hot paths at -cpu 1,2: the worker-pooled
-# state-space generation, the Jacobi solver pool, and the sweep/simulation
-# pools each run one iteration under the race detector on both the
-# degenerate and a two-core schedule (plain -race tests cover GOMAXPROCS
-# as-is only).
+# state-space generation, the Jacobi solver pool (solo and batched), the
+# batched multi-lane kernel, and the sweep/simulation pools each run one
+# iteration under the race detector on both the degenerate and a two-core
+# schedule (plain -race tests cover GOMAXPROCS as-is only).
+# Only the Batched variants of the BatchSolve benches run here: the
+# per-point variants exercise the solo solver, which the SteadyState
+# patterns already race-test, so rerunning them would only add race-
+# instrumented minutes without new coverage.
 echo "== bench race smoke (-cpu 1,2) =="
-scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)|SweepReuse'
+scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)|SweepReuse|BatchSolve(RPC|Streaming)Batched'
 
 echo "CI OK"
