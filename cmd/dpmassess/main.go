@@ -5,7 +5,8 @@
 //
 //	dpmassess lts      [-dot out.dot] [-max N] [-workers N] model.aem
 //	dpmassess check    -high INST -low INST [-high-labels l1,l2] [-workers N] model.aem
-//	dpmassess solve    -measures spec.msr [-sweep auto|gauss-seidel|jacobi] [-workers N] model.aem
+//	dpmassess solve    -measures spec.msr [-sweep auto|gauss-seidel|jacobi]
+//	                   [-checkpoint file.ckpt] [-resume] [-workers N] model.aem
 //	dpmassess sim      -measures spec.msr [-runlength T] [-warmup T]
 //	                   [-reps N] [-seed S] [-workers N] model.aem
 //	dpmassess equiv    [-relation strong|weak|markovian] [-workers N] a.aem b.aem
@@ -14,7 +15,15 @@
 //
 // Every subcommand that explores a state space takes -workers: it bounds
 // the generation worker pool (and, for solve, the steady-state solver
-// pool). Outputs are bit-identical at any worker count.
+// pool). Outputs are bit-identical at any worker count. Every subcommand
+// also takes -timeout: an overall deadline after which generation, solves
+// and simulations are canceled promptly (reported as a cancellation error
+// naming the phase that observed it).
+//
+// The solve subcommand is resumable on models with rate parameters:
+// -checkpoint periodically saves the solver's progress to a versioned,
+// checksummed file, and -resume replays it instead of re-solving, with
+// output bit-identical to an uninterrupted run.
 //
 // The check subcommand performs the phase-1 noninterference analysis
 // (hide-vs-restrict up to weak bisimulation) and prints the diagnostic
@@ -26,12 +35,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/aemilia/parser"
 	"repro/internal/bisim"
@@ -85,6 +96,7 @@ func runMC(args []string) error {
 	formulaText := fs.String("formula", "", "formula in TwoTowers diagnostic syntax")
 	hideExcept := fs.String("hide-except", "", "hide every label not involving this instance (observation window)")
 	workers := workersFlag(fs)
+	timeout := timeoutFlag(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +106,8 @@ func runMC(args []string) error {
 		return err
 	}
 	defer stopProf()
+	ctx, stopCtx := timeoutCtx(*timeout)
+	defer stopCtx()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -105,7 +119,7 @@ func runMC(args []string) error {
 	if err != nil {
 		return err
 	}
-	l, err := loadLTS(path, *workers)
+	l, err := loadLTS(ctx, path, *workers)
 	if err != nil {
 		return err
 	}
@@ -128,6 +142,7 @@ func runEquiv(args []string) error {
 	fs := flag.NewFlagSet("equiv", flag.ContinueOnError)
 	relName := fs.String("relation", "weak", "equivalence relation (strong, weak, markovian)")
 	workers := workersFlag(fs)
+	timeout := timeoutFlag(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,14 +152,16 @@ func runEquiv(args []string) error {
 		return err
 	}
 	defer stopProf()
+	ctx, stopCtx := timeoutCtx(*timeout)
+	defer stopCtx()
 	if fs.NArg() != 2 {
 		return fmt.Errorf("equiv expects two model files")
 	}
-	l1, err := loadLTS(fs.Arg(0), *workers)
+	l1, err := loadLTS(ctx, fs.Arg(0), *workers)
 	if err != nil {
 		return err
 	}
-	l2, err := loadLTS(fs.Arg(1), *workers)
+	l2, err := loadLTS(ctx, fs.Arg(1), *workers)
 	if err != nil {
 		return err
 	}
@@ -182,6 +199,7 @@ func runMinimize(args []string) error {
 	relName := fs.String("relation", "weak", "equivalence relation (strong, weak, markovian)")
 	dotPath := fs.String("dot", "", "write the quotient in Graphviz DOT format")
 	workers := workersFlag(fs)
+	timeout := timeoutFlag(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -191,11 +209,13 @@ func runMinimize(args []string) error {
 		return err
 	}
 	defer stopProf()
+	ctx, stopCtx := timeoutCtx(*timeout)
+	defer stopCtx()
 	path, err := positional(fs)
 	if err != nil {
 		return err
 	}
-	l, err := loadLTS(path, *workers)
+	l, err := loadLTS(ctx, path, *workers)
 	if err != nil {
 		return err
 	}
@@ -232,6 +252,24 @@ func runMinimize(args []string) error {
 func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", runtime.NumCPU(),
 		"state-space generation workers (outputs are identical at any value)")
+}
+
+// timeoutFlag registers the shared -timeout flag: the subcommand's
+// overall deadline.
+func timeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0,
+		"overall deadline: generation, solves and simulations are canceled\n"+
+			"promptly once it expires (0 = no deadline)")
+}
+
+// timeoutCtx turns the -timeout value into a cancellation context: nil
+// (which disables deadline polling entirely) when no deadline was asked
+// for. Defer the returned stop function around the subcommand's work.
+func timeoutCtx(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return nil, func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
 }
 
 // profFlags carries the shared -cpuprofile/-memprofile flags.
@@ -289,13 +327,13 @@ func (p profFlags) start() (func(), error) {
 }
 
 // loadLTS parses a model file and generates its state space on the given
-// worker pool.
-func loadLTS(path string, workers int) (*lts.LTS, error) {
+// worker pool, polling ctx at BFS level boundaries.
+func loadLTS(ctx context.Context, path string, workers int) (*lts.LTS, error) {
 	m, err := loadModel(path)
 	if err != nil {
 		return nil, err
 	}
-	return lts.Generate(m, lts.GenerateOptions{GenWorkers: workers})
+	return lts.Generate(m, lts.GenerateOptions{GenWorkers: workers, Ctx: ctx})
 }
 
 func loadModel(path string) (*elab.Model, error) {
@@ -323,6 +361,7 @@ func runLTS(args []string) error {
 	autPath := fs.String("aut", "", "write the state space in Aldebaran (CADP) format")
 	maxStates := fs.Int("max", 0, "abort beyond this many states (0 = default bound)")
 	workers := workersFlag(fs)
+	timeout := timeoutFlag(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -332,6 +371,8 @@ func runLTS(args []string) error {
 		return err
 	}
 	defer stopProf()
+	ctx, stopCtx := timeoutCtx(*timeout)
+	defer stopCtx()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -344,6 +385,7 @@ func runLTS(args []string) error {
 		MaxStates:        *maxStates,
 		KeepDescriptions: *dotPath != "",
 		GenWorkers:       *workers,
+		Ctx:              ctx,
 	})
 	if err != nil {
 		return err
@@ -385,6 +427,7 @@ func runCheck(args []string) error {
 	low := fs.String("low", "", "low instance (its actions are the observables)")
 	highLabels := fs.String("high-labels", "", "comma-separated explicit high labels (overrides -high)")
 	workers := workersFlag(fs)
+	timeout := timeoutFlag(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -394,6 +437,8 @@ func runCheck(args []string) error {
 		return err
 	}
 	defer stopProf()
+	ctx, stopCtx := timeoutCtx(*timeout)
+	defer stopCtx()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -414,7 +459,7 @@ func runCheck(args []string) error {
 	} else {
 		spec.High = lts.LabelMatcherByInstance(*high)
 	}
-	l, err := lts.Generate(m, lts.GenerateOptions{GenWorkers: *workers})
+	l, err := lts.Generate(m, lts.GenerateOptions{GenWorkers: *workers, Ctx: ctx})
 	if err != nil {
 		return err
 	}
@@ -448,7 +493,14 @@ func runSolve(args []string) error {
 	measuresPath := fs.String("measures", "", "measure definition file (companion language)")
 	sweepName := fs.String("sweep", "auto",
 		"steady-state sweep mode: auto, gauss-seidel, or jacobi")
+	ckptPath := fs.String("checkpoint", "",
+		"checkpoint file: the solve periodically saves its progress there\n"+
+			"(requires a model with rate parameters; empty = disabled)")
+	resume := fs.Bool("resume", false,
+		"resume from an existing -checkpoint file, replaying the saved solution\n"+
+			"instead of re-solving (output is identical to an uninterrupted run)")
 	workers := workersFlag(fs)
+	timeout := timeoutFlag(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -458,12 +510,17 @@ func runSolve(args []string) error {
 		return err
 	}
 	defer stopProf()
+	ctx, stopCtx := timeoutCtx(*timeout)
+	defer stopCtx()
 	path, err := positional(fs)
 	if err != nil {
 		return err
 	}
 	if *measuresPath == "" {
 		return fmt.Errorf("-measures is required")
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 	var sweep ctmc.Sweep
 	switch *sweepName {
@@ -484,11 +541,40 @@ func runSolve(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.Phase2ModelSolve(m, ms,
-		lts.GenerateOptions{GenWorkers: *workers},
-		ctmc.SolveOptions{Sweep: sweep, Workers: *workers})
-	if err != nil {
-		return err
+	genOpts := lts.GenerateOptions{GenWorkers: *workers, Ctx: ctx}
+	solveOpts := ctmc.SolveOptions{Sweep: sweep, Workers: *workers, Ctx: ctx}
+	var rep *core.Phase2Report
+	if *ckptPath != "" {
+		// Checkpointed solves go through the sweep driver: a one-point
+		// sweep at the model's own rates, saved to (and resumed from) the
+		// checkpoint file. For a parametric model the rates are read from
+		// a throwaway generation of the state space, which the sweep then
+		// regenerates — the split keeps the resumable path identical to
+		// the multi-point one; a slot-free model solves as one empty point.
+		point := []float64{}
+		if m.NumRateSlots() > 0 {
+			l, err := lts.Generate(m, genOpts)
+			if err != nil {
+				return err
+			}
+			point = l.SlotDefaults()
+		}
+		reports, err := core.Phase2Sweep(m, ms, [][]float64{point}, core.SweepOptions{
+			Gen:        genOpts,
+			Solve:      solveOpts,
+			Workers:    *workers,
+			Ctx:        ctx,
+			Checkpoint: &core.CheckpointOptions{Path: *ckptPath, Every: 1, Resume: *resume},
+		})
+		if err != nil {
+			return err
+		}
+		rep = reports[0]
+	} else {
+		rep, err = core.Phase2ModelSolve(m, ms, genOpts, solveOpts)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("states: %d (tangible %d, vanishing %d)\n", rep.States, rep.Tangible, rep.Vanishing)
 	for _, m := range ms {
@@ -507,6 +593,7 @@ func runSim(args []string) error {
 	level := fs.Float64("confidence", 0.90, "confidence level")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"concurrent replications (estimates are identical at any value)")
+	timeout := timeoutFlag(fs)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -516,6 +603,8 @@ func runSim(args []string) error {
 		return err
 	}
 	defer stopProf()
+	ctx, stopCtx := timeoutCtx(*timeout)
+	defer stopCtx()
 	path, err := positional(fs)
 	if err != nil {
 		return err
@@ -542,6 +631,7 @@ func runSim(args []string) error {
 		Seed:            *seed,
 		ConfidenceLevel: *level,
 		Workers:         *workers,
+		Ctx:             ctx,
 	})
 	if err != nil {
 		return err

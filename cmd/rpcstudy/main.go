@@ -8,9 +8,11 @@
 //
 //	rpcstudy [-experiment all|sect3|fig3markov|fig3general|fig5|fig7]
 //	         [-csv] [-quick] [-workers N] [-lanes K]
+//	         [-timeout D] [-checkpoint DIR] [-resume]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,12 +40,32 @@ func run(args []string) error {
 	lanes := fs.Int("lanes", 0,
 		"sweep points solved per batched steady-state call: 0 auto-selects,\n"+
 			"1 forces the per-point solver (results are identical at any value)")
+	timeout := fs.Duration("timeout", 0,
+		"overall deadline: generation, solves, sweeps and simulations are\n"+
+			"canceled promptly once it expires (0 = no deadline)")
+	ckptDir := fs.String("checkpoint", "",
+		"directory for sweep checkpoints: Markovian sweeps periodically save\n"+
+			"completed points there and become resumable (empty = disabled)")
+	resume := fs.Bool("resume", false,
+		"resume Markovian sweeps from existing checkpoints in -checkpoint DIR,\n"+
+			"re-solving only the missing points (results are identical to an\n"+
+			"uninterrupted run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	experiments.DefaultWorkers = *workers
 	experiments.DefaultLaneWidth = *lanes
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		experiments.DefaultContext = ctx
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
+	}
+	experiments.DefaultCheckpointDir = *ckptDir
+	experiments.DefaultCheckpointResume = *resume
 	settings := core.SimSettings{Workers: *workers}
 	if *quick {
 		settings = core.SimSettings{RunLength: 4000, Replications: 8, Workers: *workers}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/aemilia"
 	"repro/internal/elab"
+	"repro/internal/fault"
 )
 
 // BuildCache memoizes elaborated architectural models keyed by their
@@ -59,6 +61,18 @@ func (c *BuildCache[K]) Elaborated(key K, build func() (*aemilia.ArchiType, erro
 		e.model, e.err = elab.Elaborate(a)
 	})
 	return e.model, e.err
+}
+
+// ElaboratedCtx is Elaborated with a cancellation point before the
+// lookup: a sweep driver that shares one cache across many workers checks
+// its deadline here rather than starting a fresh parse+elaboration it
+// will throw away. The check never consumes the entry's build-once slot,
+// so a canceled call leaves the cache exactly as it found it.
+func (c *BuildCache[K]) ElaboratedCtx(ctx context.Context, key K, build func() (*aemilia.ArchiType, error)) (*elab.Model, error) {
+	if err := fault.Check(ctx, "core.build-cache", -1, -1); err != nil {
+		return nil, err
+	}
+	return c.Elaborated(key, build)
 }
 
 // Len reports the number of cached keys.

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -70,6 +71,11 @@ type Phase2Report struct {
 	Values map[string]float64
 	// States, Tangible and Vanishing size the state space and the chain.
 	States, Tangible, Vanishing int
+	// Trace records the solver's escalation history for this point, when
+	// the sweep ran with ctmc.EscalateLadder and the base configuration
+	// did not converge; nil when the base attempt sufficed. An escalated
+	// result is therefore always flagged, never silent.
+	Trace *ctmc.SolveTrace
 }
 
 // Phase2 generates the rated model's state space, extracts and solves the
@@ -147,6 +153,9 @@ type SimSettings struct {
 	// sweep points. 0 falls back to the experiments package default.
 	// Results are bit-identical at any worker count.
 	Workers int
+	// Ctx cancels the simulation (see sim.Config.Ctx); nil disables
+	// cancellation.
+	Ctx context.Context
 }
 
 // Phase3 simulates the model with the given duration overrides and
@@ -174,6 +183,7 @@ func Phase3Model(m *elab.Model, dists map[sim.Activity]dist.Distribution,
 		Seed:            settings.Seed,
 		ConfidenceLevel: settings.ConfidenceLevel,
 		Workers:         settings.Workers,
+		Ctx:             settings.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 3: %w", err)

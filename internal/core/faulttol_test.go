@@ -1,0 +1,464 @@
+// Fault-tolerance properties of the sweep driver: cancellation with
+// checkpoint/resume bit-identity, panic attribution, deterministic
+// escalation traces, and the checkpoint format's failure modes.
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ctmc"
+	"repro/internal/fault"
+	"repro/internal/faultinject"
+	"repro/internal/lts"
+	"repro/internal/models"
+)
+
+// rpcSweepFixture returns the parametric rpc model, its measures, and a
+// 9-point timeout grid — the shared input of the sweep property tests.
+func rpcSweepFixture(t *testing.T) (*models.RPCParams, [][]float64) {
+	t.Helper()
+	p := models.DefaultRPCParams()
+	p.ParametricTimeout = true
+	points := make([][]float64, 0, 9)
+	for _, T := range []float64{0.5, 1, 2, 4, 5, 7.5, 10, 15, 25} {
+		points = append(points, []float64{1 / T})
+	}
+	return &p, points
+}
+
+func requireSameReports(t *testing.T, tag string, want, got []*Phase2Report) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d reports vs %d", tag, len(want), len(got))
+	}
+	for i := range want {
+		if got[i] == nil {
+			t.Fatalf("%s: report %d missing", tag, i)
+		}
+		for name, w := range want[i].Values {
+			if g := got[i].Values[name]; g != w {
+				t.Errorf("%s: point %d measure %s: %v != %v (must be bit-identical)", tag, i, name, g, w)
+			}
+		}
+		if want[i].States != got[i].States || want[i].Tangible != got[i].Tangible {
+			t.Errorf("%s: point %d sizes differ", tag, i)
+		}
+	}
+}
+
+// TestPhase2SweepCancelCheckpointResume is the flagship resilience
+// property: a sweep canceled mid-run with checkpointing enabled, then
+// resumed, produces reports bit-identical to an uninterrupted run — at
+// every combination of worker count and lane width.
+func TestPhase2SweepCancelCheckpointResume(t *testing.T) {
+	p, points := rpcSweepFixture(t)
+	m := elaborateRPC(t, *p)
+	measures := models.RPCMeasures(*p)
+
+	baseline, err := Phase2Sweep(m, measures, points, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		for _, lanes := range []int{1, 8} {
+			tag := "workers=" + itoa(workers) + " lanes=" + itoa(lanes)
+			path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+			// Cancel on the second solve to pass iteration 2: the anchor
+			// completes (and is checkpointed), a later point is interrupted.
+			ctx, cancel := context.WithCancel(context.Background())
+			var fires atomic.Int64
+			plan := faultinject.NewPlan().Arm(faultinject.SiteSolveIteration, 2).
+				OnFire(faultinject.SiteSolveIteration, func(int) {
+					if fires.Add(1) == 2 {
+						cancel()
+					}
+				})
+			faultinject.Activate(plan)
+			_, err := Phase2Sweep(m, measures, points, SweepOptions{
+				Workers:    workers,
+				LaneWidth:  lanes,
+				Ctx:        ctx,
+				Checkpoint: &CheckpointOptions{Path: path, Every: 1},
+			})
+			faultinject.Deactivate()
+			cancel()
+			if err == nil {
+				t.Fatalf("%s: cancellation ignored", tag)
+			}
+			var ce *fault.CanceledError
+			if !errors.As(err, &ce) {
+				t.Fatalf("%s: want *fault.CanceledError, got %T: %v", tag, err, err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s: cause chain lost context.Canceled: %v", tag, err)
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("%s: canceled sweep left no checkpoint: %v", tag, err)
+			}
+
+			resumed, err := Phase2Sweep(m, measures, points, SweepOptions{
+				Workers:    workers,
+				LaneWidth:  lanes,
+				Checkpoint: &CheckpointOptions{Path: path, Every: 1, Resume: true},
+			})
+			if err != nil {
+				t.Fatalf("%s: resume failed: %v", tag, err)
+			}
+			requireSameReports(t, tag, baseline, resumed)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// TestPhase2SweepPanicAttribution injects a panic at sweep point 3 and
+// checks it surfaces as a typed worker-panic error — injected fault
+// intact — instead of crashing, under every solve path of the sweep.
+func TestPhase2SweepPanicAttribution(t *testing.T) {
+	p, points := rpcSweepFixture(t)
+	m := elaborateRPC(t, *p)
+	measures := models.RPCMeasures(*p)
+
+	for _, workers := range []int{1, 8} {
+		for _, lanes := range []int{1, 8} {
+			tag := "workers=" + itoa(workers) + " lanes=" + itoa(lanes)
+			plan := faultinject.NewPlan().Arm(faultinject.SiteSweepPoint, 3)
+			faultinject.Activate(plan)
+			_, err := Phase2Sweep(m, measures, points, SweepOptions{Workers: workers, LaneWidth: lanes})
+			faultinject.Deactivate()
+			if err == nil {
+				t.Fatalf("%s: injected panic vanished", tag)
+			}
+			var wpe *fault.WorkerPanicError
+			if !errors.As(err, &wpe) {
+				t.Fatalf("%s: want *fault.WorkerPanicError, got %T: %v", tag, err, err)
+			}
+			if wpe.Pool != "core.sweep" {
+				t.Errorf("%s: panic attributed to pool %q, want core.sweep", tag, wpe.Pool)
+			}
+			if !errors.Is(err, fault.ErrWorkerPanic) {
+				t.Errorf("%s: errors.Is(err, fault.ErrWorkerPanic) is false", tag)
+			}
+			var ie *faultinject.InjectedError
+			if !errors.As(err, &ie) || ie.Site != faultinject.SiteSweepPoint || ie.Key != 3 {
+				t.Errorf("%s: injected fault not recovered intact: %v", tag, err)
+			}
+			if !strings.Contains(err.Error(), "point") {
+				t.Errorf("%s: error %q does not name a point", tag, err)
+			}
+		}
+	}
+}
+
+// TestPhase2SweepEscalationTraceDeterministic forces a non-convergence at
+// sweep point 2 and checks the ladder recovers it with values
+// bit-identical to an uninjected run and an attempt trace that is a pure
+// function of the input — identical at every worker count and lane width.
+func TestPhase2SweepEscalationTraceDeterministic(t *testing.T) {
+	p, points := rpcSweepFixture(t)
+	m := elaborateRPC(t, *p)
+	measures := models.RPCMeasures(*p)
+	// Auto mode resolves the scheme per worker count; trace-identity needs
+	// a pinned sweep.
+	solve := ctmc.SolveOptions{Sweep: ctmc.SweepGaussSeidel, Escalation: ctmc.EscalateLadder}
+
+	baseline, err := Phase2Sweep(m, measures, points, SweepOptions{Solve: solve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range baseline {
+		if rep.Trace != nil {
+			t.Fatalf("uninjected point %d carries a trace: %+v", i, rep.Trace)
+		}
+	}
+
+	var traces []*ctmc.SolveTrace
+	for _, workers := range []int{1, 8} {
+		for _, lanes := range []int{1, 8} {
+			tag := "workers=" + itoa(workers) + " lanes=" + itoa(lanes)
+			plan := faultinject.NewPlan().Arm(faultinject.SiteSweepNonconverge, 2)
+			faultinject.Activate(plan)
+			reps, err := Phase2Sweep(m, measures, points, SweepOptions{
+				Solve:     solve,
+				Workers:   workers,
+				LaneWidth: lanes,
+			})
+			faultinject.Deactivate()
+			if err != nil {
+				t.Fatalf("%s: ladder did not recover the forced failure: %v", tag, err)
+			}
+			requireSameReports(t, tag, baseline, reps)
+			trace := reps[2].Trace
+			if trace == nil || !trace.Escalated() {
+				t.Fatalf("%s: recovered point 2 has no escalation trace", tag)
+			}
+			if got := trace.Attempts[0].Action; got != "forced-nonconvergence" {
+				t.Errorf("%s: base attempt action %q, want forced-nonconvergence", tag, got)
+			}
+			last := trace.Attempts[len(trace.Attempts)-1]
+			if !last.Converged || last.Action != "raise-max-iterations" {
+				t.Errorf("%s: recovery attempt wrong: %+v", tag, last)
+			}
+			for i, rep := range reps {
+				if i != 2 && rep.Trace != nil {
+					t.Errorf("%s: unescalated point %d carries a trace", tag, i)
+				}
+			}
+			traces = append(traces, trace)
+		}
+	}
+	for i := 1; i < len(traces); i++ {
+		if !reflect.DeepEqual(traces[0], traces[i]) {
+			t.Errorf("trace depends on scheduling:\n first: %+v\n other: %+v", traces[0], traces[i])
+		}
+	}
+
+	// Without the ladder the forced failure must surface as a convergence
+	// error attributed to point 2 — never silently succeed.
+	plan := faultinject.NewPlan().Arm(faultinject.SiteSweepNonconverge, 2)
+	faultinject.Activate(plan)
+	_, err = Phase2Sweep(m, measures, points, SweepOptions{
+		Solve: ctmc.SolveOptions{Sweep: ctmc.SweepGaussSeidel},
+	})
+	faultinject.Deactivate()
+	if err == nil {
+		t.Fatal("forced non-convergence vanished without the ladder")
+	}
+	var conv *ctmc.ConvergenceError
+	if !errors.As(err, &conv) || conv.Point != 2 {
+		t.Errorf("forced failure not attributed to point 2: %v", err)
+	}
+}
+
+// TestPhase2SweepCheckpointWriteFailure checks that checkpoint writes are
+// strict: an injected failure of the first write aborts the sweep with
+// the typed checkpoint error instead of carrying on unresumable.
+func TestPhase2SweepCheckpointWriteFailure(t *testing.T) {
+	p, points := rpcSweepFixture(t)
+	m := elaborateRPC(t, *p)
+	measures := models.RPCMeasures(*p)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	plan := faultinject.NewPlan().Arm(faultinject.SiteCheckpointWrite, 0)
+	faultinject.Activate(plan)
+	_, err := Phase2Sweep(m, measures, points, SweepOptions{
+		Checkpoint: &CheckpointOptions{Path: path, Every: 1},
+	})
+	faultinject.Deactivate()
+	if err == nil {
+		t.Fatal("failed checkpoint write ignored")
+	}
+	var cke *CheckpointError
+	if !errors.As(err, &cke) || cke.Op != "write" {
+		t.Fatalf("want a write *CheckpointError, got %T: %v", err, err)
+	}
+	var ie *faultinject.InjectedError
+	if !errors.As(err, &ie) || ie.Site != faultinject.SiteCheckpointWrite {
+		t.Errorf("injected write fault not recovered intact: %v", err)
+	}
+}
+
+// TestCheckpointResumeRejects checks the resume guards: corrupt files and
+// structurally mismatched checkpoints abort loudly; a missing file means
+// a fresh start.
+func TestCheckpointResumeRejects(t *testing.T) {
+	p, points := rpcSweepFixture(t)
+	m := elaborateRPC(t, *p)
+	measures := models.RPCMeasures(*p)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	// Missing file: resume is a fresh start, and completes the checkpoint.
+	reps, err := Phase2Sweep(m, measures, points, SweepOptions{
+		Checkpoint: &CheckpointOptions{Path: path, Every: 1, Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A full checkpoint resumes to identical reports.
+	resumed, err := Phase2Sweep(m, measures, points, SweepOptions{
+		Checkpoint: &CheckpointOptions{Path: path, Every: 1, Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameReports(t, "complete-resume", reps, resumed)
+
+	// A different point set must be rejected as a mismatch.
+	_, err = Phase2Sweep(m, measures, points[:5], SweepOptions{
+		Checkpoint: &CheckpointOptions{Path: path, Resume: true},
+	})
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("mismatched sweep resumed: %v", err)
+	}
+
+	// A flipped byte must be detected by the checksum.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Phase2Sweep(m, measures, points, SweepOptions{
+		Checkpoint: &CheckpointOptions{Path: path, Resume: true},
+	})
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("corrupt checkpoint resumed: %v", err)
+	}
+
+	// Checkpointing with no path is a configuration error.
+	if _, err := Phase2Sweep(m, measures, points, SweepOptions{Checkpoint: &CheckpointOptions{}}); err == nil {
+		t.Error("empty checkpoint path accepted")
+	}
+}
+
+// TestCheckpointEncodeDecodeRoundTrip pins the binary format: every field
+// — values, anchor bits, traces, flags — survives a round trip exactly.
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	orig := &checkpoint{
+		hash:      0xdeadbeefcafe,
+		numPoints: 5,
+		anchorPi:  []float64{0.125, 0.875, 1e-300},
+		completed: map[int]*Phase2Report{
+			0: {Values: map[string]float64{"util": 0.5, "power": 1.25}},
+			3: {
+				Values: map[string]float64{"util": 0.375},
+				Trace: &ctmc.SolveTrace{Attempts: []ctmc.SolveAttempt{
+					{Rung: 0, Action: "forced-nonconvergence", Sweep: ctmc.SweepGaussSeidel,
+						MaxIterations: 100, Omega: 1, WarmStart: true, Iterations: 100, Residual: 0.5},
+					{Rung: 1, Action: "raise-max-iterations", Sweep: ctmc.SweepGaussSeidel,
+						MaxIterations: 400, Omega: 1, WarmStart: true, Converged: true},
+				}},
+			},
+		},
+	}
+	report := func(values map[string]float64) *Phase2Report { return &Phase2Report{Values: values} }
+	got, err := decodeCheckpoint(encodeCheckpoint(orig), report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.hash != orig.hash || got.numPoints != orig.numPoints {
+		t.Errorf("header changed: %x/%d vs %x/%d", got.hash, got.numPoints, orig.hash, orig.numPoints)
+	}
+	if !reflect.DeepEqual(got.anchorPi, orig.anchorPi) {
+		t.Errorf("anchor changed: %v vs %v", got.anchorPi, orig.anchorPi)
+	}
+	if !reflect.DeepEqual(got.completed, orig.completed) {
+		t.Errorf("completed set changed:\n got %+v\n want %+v", got.completed, orig.completed)
+	}
+	// Determinism of the encoding itself (sorted maps): same content, same
+	// bytes.
+	a, b := encodeCheckpoint(orig), encodeCheckpoint(orig)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("encoding is not deterministic")
+	}
+	// Truncation at any point must be caught.
+	enc := encodeCheckpoint(orig)
+	if _, err := decodeCheckpoint(enc[:len(enc)-3], report); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("truncated checkpoint decoded: %v", err)
+	}
+	if _, err := decodeCheckpoint([]byte("not a checkpoint"), report); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("garbage decoded: %v", err)
+	}
+}
+
+// TestPhase2SweepEdgePoints covers the degenerate sweeps: no points, a
+// single (anchor-only) point, and duplicate rate vectors.
+func TestPhase2SweepEdgePoints(t *testing.T) {
+	p, _ := rpcSweepFixture(t)
+	m := elaborateRPC(t, *p)
+	measures := models.RPCMeasures(*p)
+
+	// Zero points: nothing to do, no error.
+	reps, err := Phase2Sweep(m, measures, nil, SweepOptions{})
+	if err != nil || reps != nil {
+		t.Errorf("empty sweep: got (%v, %v), want (nil, nil)", reps, err)
+	}
+
+	// Single point at the model's own rates: the sweep is exactly one
+	// cold anchor solve, bit-identical to the non-sweep phase-2 path.
+	l, err := lts.Generate(m, lts.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults := l.SlotDefaults()
+	single, err := Phase2Sweep(m, measures, [][]float64{defaults}, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Phase2Model(m, measures, lts.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range direct.Values {
+		if got := single[0].Values[name]; got != want {
+			t.Errorf("single-point sweep measure %s: %v != %v (must match the direct solve bit for bit)", name, got, want)
+		}
+	}
+
+	// A slot-free model is accepted as exactly one empty point — the
+	// checkpointable single solve the CLI uses — but never as a sweep.
+	plain := elaborateRPC(t, models.DefaultRPCParams())
+	plainMeasures := models.RPCMeasures(models.DefaultRPCParams())
+	path := filepath.Join(t.TempDir(), "single.ckpt")
+	solo, err := Phase2Sweep(plain, plainMeasures, [][]float64{{}}, SweepOptions{
+		Checkpoint: &CheckpointOptions{Path: path, Every: 1},
+	})
+	if err != nil {
+		t.Fatalf("slot-free single-point sweep failed: %v", err)
+	}
+	plainDirect, err := Phase2Model(plain, plainMeasures, lts.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range plainDirect.Values {
+		if got := solo[0].Values[name]; got != want {
+			t.Errorf("slot-free solve measure %s: %v != %v", name, got, want)
+		}
+	}
+	resumedSolo, err := Phase2Sweep(plain, plainMeasures, [][]float64{{}}, SweepOptions{
+		Checkpoint: &CheckpointOptions{Path: path, Every: 1, Resume: true},
+	})
+	if err != nil {
+		t.Fatalf("slot-free resume failed: %v", err)
+	}
+	requireSameReports(t, "slot-free resume", solo, resumedSolo)
+	if _, err := Phase2Sweep(plain, plainMeasures, [][]float64{{}, {}}, SweepOptions{}); err == nil {
+		t.Error("multi-point sweep of a slot-free model accepted")
+	}
+
+	// Duplicate rate vectors: non-anchor duplicates run the same solve
+	// from the same anchor seed, so their reports are bit-identical.
+	dup := [][]float64{{1. / 5}, {1. / 2}, {1. / 10}, {1. / 2}, {1. / 10}}
+	for _, lanes := range []int{1, 8} {
+		reps, err := Phase2Sweep(m, measures, dup, SweepOptions{LaneWidth: lanes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]int{{1, 3}, {2, 4}} {
+			a, b := reps[pair[0]].Values, reps[pair[1]].Values
+			for name, va := range a {
+				if vb := b[name]; va != vb {
+					t.Errorf("lanes=%d: duplicate points %v: measure %s differs: %v != %v",
+						lanes, pair, name, va, vb)
+				}
+			}
+		}
+	}
+}

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sync"
 
 	"repro/internal/ctmc"
 	"repro/internal/elab"
+	"repro/internal/fault"
+	"repro/internal/faultinject"
 	"repro/internal/lts"
 	"repro/internal/measure"
 )
@@ -19,9 +25,16 @@ const DefaultLaneWidth = 8
 // SweepOptions tunes a rate-parametric Markovian sweep.
 type SweepOptions struct {
 	// Gen tunes state-space generation (done once for the whole sweep).
+	// Its Ctx defaults to SweepOptions.Ctx when unset.
 	Gen lts.GenerateOptions
 	// Solve tunes the per-point steady-state solver. Its WarmStart field
-	// is managed by the sweep and must be left empty.
+	// is managed by the sweep and must be left empty; its Ctx is
+	// overridden with SweepOptions.Ctx; its Escalation selects the
+	// convergence-failure policy of every point (the sweep runs the
+	// ladder itself, so batched lanes escalate exactly like solo points).
+	// A non-zero Omega disables lane batching: the batched kernels always
+	// run the scheme-default damping, so a custom damping falls back to
+	// the per-point path where it applies.
 	Solve ctmc.SolveOptions
 	// Workers bounds the number of sweep tasks solved concurrently
 	// (0 or 1 = sequential). Results are bit-identical at any value.
@@ -34,6 +47,55 @@ type SweepOptions struct {
 	// per-point solver's arithmetic from the same anchor-seeded start, so
 	// results are bit-identical at any width.
 	LaneWidth int
+	// Ctx cancels the sweep: generation polls it at BFS level boundaries,
+	// every solver polls it per iteration, and the sweep itself polls it
+	// at point boundaries, so cancellation lands promptly at every phase.
+	// A cancellation surfaces as a *fault.CanceledError and never changes
+	// the floats of points that already completed. Nil disables polling.
+	Ctx context.Context
+	// Checkpoint, when non-nil, makes the sweep resumable (see
+	// CheckpointOptions): completed point results and the anchor solution
+	// are periodically written to Checkpoint.Path, and a run with
+	// Checkpoint.Resume set solves only the missing points — with reports
+	// bit-identical to an uninterrupted run, because every point's result
+	// is a pure function of the input and the anchor solution.
+	Checkpoint *CheckpointOptions
+}
+
+// sweepHash fingerprints everything a checkpoint must match to be safely
+// resumed: the chain's structural solve analysis, the state-space and
+// chain sizes, the exact bit patterns of every sweep point, and the
+// measure names. Two sweeps with the same hash solve the same points of
+// the same chain and evaluate the same measures, so exchanging their
+// completed results is sound.
+func sweepHash(chain *ctmc.CTMC, l *lts.LTS, points [][]float64, measures []measure.Measure) (uint64, error) {
+	structural, err := chain.StructuralHash()
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(structural)
+	put(uint64(l.NumStates))
+	put(uint64(chain.N))
+	put(uint64(chain.NumVanishing()))
+	put(uint64(len(points)))
+	for _, pt := range points {
+		put(uint64(len(pt)))
+		for _, v := range pt {
+			put(math.Float64bits(v))
+		}
+	}
+	put(uint64(len(measures)))
+	for _, m := range measures {
+		h.Write([]byte(m.Name))
+		h.Write([]byte{0})
+	}
+	return h.Sum64(), nil
 }
 
 // Phase2Sweep runs the Markovian phase over a family of rate assignments
@@ -56,20 +118,35 @@ type SweepOptions struct {
 // rebound generator matrix itself is bit-identical to a freshly built
 // one).
 //
-// A solver failure is attributed to its sweep point: the returned error
-// names the lowest failed point index (what a sequential per-point loop
-// would hit first), and an unwrapped *ctmc.ConvergenceError carries the
-// point index and its rate vector.
+// Failure handling is deterministic at any worker count:
 //
-// The model must carry rate slots (elab.Model.NumRateSlots > 0); sweeping
-// a parameter that changes the model's structure needs one generation per
-// point instead.
+//   - A solver failure is attributed to its sweep point: the returned
+//     error names the lowest failed point index (what a sequential
+//     per-point loop would hit first), and an unwrapped
+//     *ctmc.ConvergenceError carries the point index and its rate vector.
+//   - With opts.Solve.Escalation set to ctmc.EscalateLadder, a point that
+//     fails to converge is retried through the deterministic escalation
+//     ladder (see ctmc.EscalateLadder); a recovered point's report
+//     carries the attempt trace in Phase2Report.Trace. Batched lanes
+//     escalate exactly like solo points: a lane's base failure is
+//     bit-identical to the solo base attempt, and the ladder re-solves
+//     the lane solo from rung 1.
+//   - A panic in a sweep worker is recovered into a
+//     *fault.WorkerPanicError instead of crashing the process.
+//   - A cancellation via opts.Ctx surfaces as a *fault.CanceledError and
+//     never changes the floats of completed points.
+//
+// The model must carry rate slots (elab.Model.NumRateSlots > 0) to sweep
+// more than one point; sweeping a parameter that changes the model's
+// structure needs one generation per point instead. A slot-free model is
+// accepted with exactly one (empty) point — a single solve run through
+// the sweep driver for its checkpoint/resume and escalation machinery.
 func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, opts SweepOptions) ([]*Phase2Report, error) {
 	if len(points) == 0 {
 		return nil, nil
 	}
 	numSlots := m.NumRateSlots()
-	if numSlots == 0 {
+	if numSlots == 0 && len(points) > 1 {
 		return nil, fmt.Errorf("core: phase 2 sweep: model has no rate slots; use Phase2ModelSolve per point")
 	}
 	for i, p := range points {
@@ -80,8 +157,14 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 	if len(opts.Solve.WarmStart) != 0 {
 		return nil, fmt.Errorf("core: phase 2 sweep: SolveOptions.WarmStart is managed by the sweep")
 	}
+	if opts.Checkpoint != nil && opts.Checkpoint.Path == "" {
+		return nil, fmt.Errorf("core: phase 2 sweep: checkpoint enabled with an empty path")
+	}
 
 	genOpts := opts.Gen
+	if genOpts.Ctx == nil {
+		genOpts.Ctx = opts.Ctx
+	}
 	genOpts.Predicates = append(append([]lts.StatePred(nil), genOpts.Predicates...), measure.StatePreds(measures)...)
 	l, err := lts.Generate(m, genOpts)
 	if err != nil {
@@ -113,38 +196,177 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 		}
 	}
 
-	solveAt := func(chain *ctmc.CTMC, point []float64, warm []float64) (*Phase2Report, error) {
-		if err := chain.Rebind(point); err != nil {
-			return nil, err
-		}
+	// mkSolve builds one point's solver options: the sweep's context, the
+	// given warm start, and escalation stripped — the sweep runs the
+	// ladder itself so that batched lanes and solo points share one
+	// escalation path.
+	mkSolve := func(warm []float64) ctmc.SolveOptions {
 		solve := opts.Solve
+		solve.Ctx = opts.Ctx
 		solve.WarmStart = warm
-		pi, err := chain.SteadyState(solve)
+		solve.Escalation = ctmc.EscalateNever
+		return solve
+	}
+
+	// forcedCE synthesizes the convergence error an injected
+	// SiteSweepNonconverge trigger reports for a point whose base solve
+	// actually converged — the hook the escalation property tests use.
+	forcedCE := func(chain *ctmc.CTMC, warm []float64) (*ctmc.ConvergenceError, error) {
+		resolved, err := chain.ResolveSolve(mkSolve(warm))
 		if err != nil {
 			return nil, err
+		}
+		return &ctmc.ConvergenceError{Residual: 1, Tolerance: resolved.Tolerance, Sweep: resolved.Sweep, Point: -1}, nil
+	}
+
+	// escalateLane runs the escalation ladder for point i whose base solve
+	// (solo or batched lane — the two are bit-identical) failed with ce.
+	// The trace's attempt 0 records the base failure exactly as
+	// ctmc.SteadyStateTraced would, so the ladder position is a pure
+	// function of the point's input, never of how lanes were packed.
+	escalateLane := func(chain *ctmc.CTMC, i int, warm []float64, ce *ctmc.ConvergenceError, forced bool) ([]float64, *ctmc.SolveTrace, error) {
+		if err := chain.Rebind(points[i]); err != nil {
+			return nil, nil, err
+		}
+		solve := mkSolve(warm)
+		resolved, err := chain.ResolveSolve(solve)
+		if err != nil {
+			return nil, nil, err
+		}
+		action := "base"
+		if forced {
+			action = "forced-nonconvergence"
+		}
+		trace := &ctmc.SolveTrace{Attempts: []ctmc.SolveAttempt{{
+			Rung:          0,
+			Action:        action,
+			Sweep:         ce.Sweep,
+			MaxIterations: resolved.MaxIterations,
+			Omega:         resolved.Omega,
+			WarmStart:     len(resolved.WarmStart) > 0,
+			Iterations:    ce.Iterations,
+			Residual:      ce.Residual,
+		}}}
+		return chain.EscalateFrom(solve, trace)
+	}
+
+	// solveAt solves one point on the given chain: rebind, base solve,
+	// injected-nonconvergence check, escalation, measure evaluation. It
+	// returns the report and the solution vector (the anchor needs the
+	// latter to seed the warm starts).
+	solveAt := func(chain *ctmc.CTMC, i int, warm []float64) (*Phase2Report, []float64, error) {
+		if err := fault.Check(opts.Ctx, "core.sweep", i, -1); err != nil {
+			return nil, nil, err
+		}
+		if err := chain.Rebind(points[i]); err != nil {
+			return nil, nil, err
+		}
+		pi, err := chain.SteadyState(mkSolve(warm))
+		var trace *ctmc.SolveTrace
+		forced := false
+		if err == nil && faultinject.Fire(faultinject.SiteSweepNonconverge, i) {
+			ce, ferr := forcedCE(chain, warm)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			err = ce
+			forced = true
+		}
+		if err != nil {
+			var ce *ctmc.ConvergenceError
+			if opts.Solve.Escalation == ctmc.EscalateLadder && errors.As(err, &ce) {
+				pi, trace, err = escalateLane(chain, i, warm, ce, forced)
+			}
+		}
+		if err != nil {
+			return nil, nil, err
 		}
 		values, err := measure.EvalAll(measures, chain, pi)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return report(values), nil
+		rep := report(values)
+		rep.Trace = trace
+		return rep, pi, nil
 	}
 
-	// Anchor: the first point, solved cold on the base chain. Its solution
-	// seeds the warm start of every remaining point.
+	// solvePoint is solveAt under the sweep worker's panic guard: a crash
+	// (or an injected fault keyed by the point index) surfaces as a
+	// *fault.WorkerPanicError attributed to this worker and point.
+	solvePoint := func(w int, chain *ctmc.CTMC, i int, warm []float64) (rep *Phase2Report, pi []float64, err error) {
+		gerr := fault.Guard("core.sweep", w, fmt.Sprintf("point %d", i), func() error {
+			faultinject.MaybePanic(faultinject.SiteSweepPoint, i)
+			var serr error
+			rep, pi, serr = solveAt(chain, i, warm)
+			return serr
+		})
+		if gerr != nil {
+			return nil, nil, gerr
+		}
+		return rep, pi, nil
+	}
+
 	reports := make([]*Phase2Report, len(points))
-	if err := base.Rebind(points[0]); err != nil {
-		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
+
+	// Checkpoint bookkeeping: fingerprint the sweep, load a prior
+	// checkpoint when resuming, and prefill the reports it holds.
+	var (
+		hash  uint64
+		prior *checkpoint
+		ck    *ckWriter
+	)
+	if opts.Checkpoint != nil {
+		hash, err = sweepHash(base, l, points, measures)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 2 sweep: %w", err)
+		}
+		if opts.Checkpoint.Resume {
+			prior, err = loadCheckpoint(opts.Checkpoint.Path, hash, len(points), report)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase 2 sweep: %w", err)
+			}
+			if prior != nil {
+				for i, rep := range prior.completed {
+					if i >= 0 && i < len(points) {
+						reports[i] = rep
+					}
+				}
+			}
+		}
 	}
-	anchorPi, err := base.SteadyState(opts.Solve)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", attribute(err, 0))
+
+	// Anchor: the first point, solved cold on the base chain (or restored
+	// from the checkpoint, which stores the solution's exact bits). Its
+	// solution seeds the warm start of every remaining point.
+	var anchorPi []float64
+	if prior != nil && reports[0] != nil && len(prior.anchorPi) == base.N {
+		anchorPi = prior.anchorPi
+	} else {
+		rep, pi, err := solvePoint(0, base, 0, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", attribute(err, 0))
+		}
+		reports[0] = rep
+		anchorPi = pi
 	}
-	anchorValues, err := measure.EvalAll(measures, base, anchorPi)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
+	if opts.Checkpoint != nil {
+		ck = newCkWriter(*opts.Checkpoint, hash, len(points), anchorPi, prior)
+		if err := ck.completed(0, reports[0]); err != nil {
+			return nil, fmt.Errorf("core: phase 2 sweep: point 0: %w", err)
+		}
 	}
-	reports[0] = report(anchorValues)
+
+	// finish publishes one completed point: the report slot, then the
+	// checkpoint writer (whose write failures are strict — an unwritable
+	// checkpoint fails the point rather than silently losing resumability).
+	finish := func(i int, rep *Phase2Report) error {
+		reports[i] = rep
+		if ck != nil {
+			return ck.completed(i, rep)
+		}
+		return nil
+	}
+
 	rest := len(points) - 1
 	if rest == 0 {
 		return reports, nil
@@ -157,19 +379,31 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 	if laneWidth > rest {
 		laneWidth = rest
 	}
+	if opts.Solve.Omega != 0 {
+		// The batched kernels always run the scheme-default damping; a
+		// custom Omega needs the per-point path, where SteadyState
+		// honors it.
+		laneWidth = 1
+	}
 	if laneWidth > 1 {
-		return sweepBatched(base, measures, points, opts, reports, anchorPi, laneWidth, report, attribute)
+		return sweepBatched(base, measures, points, opts, reports, anchorPi, laneWidth,
+			report, attribute, mkSolve, forcedCE, escalateLane, finish)
 	}
 
 	workers := opts.Workers
 	if workers <= 1 || rest == 1 {
 		// Sequential per-point path: reuse the base chain for every point.
 		for i := 1; i < len(points); i++ {
-			rep, err := solveAt(base, points[i], anchorPi)
+			if reports[i] != nil {
+				continue // restored from the checkpoint
+			}
+			rep, _, err := solvePoint(0, base, i, anchorPi)
 			if err != nil {
 				return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", i, attribute(err, i))
 			}
-			reports[i] = rep
+			if err := finish(i, rep); err != nil {
+				return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", i, err)
+			}
 		}
 		return reports, nil
 	}
@@ -191,12 +425,15 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 	claim := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if failErr != nil || next >= len(points) {
-			return -1
+		for failErr == nil && next < len(points) {
+			i := next
+			next++
+			if reports[i] != nil {
+				continue // restored from the checkpoint
+			}
+			return i
 		}
-		i := next
-		next++
-		return i
+		return -1
 	}
 	fail := func(i int, err error) {
 		mu.Lock()
@@ -207,7 +444,7 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			chain := base.Clone()
 			for {
@@ -215,14 +452,17 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 				if i < 0 {
 					return
 				}
-				rep, err := solveAt(chain, points[i], anchorPi)
+				rep, _, err := solvePoint(w, chain, i, anchorPi)
 				if err != nil {
 					fail(i, attribute(err, i))
 					return
 				}
-				reports[i] = rep
+				if err := finish(i, rep); err != nil {
+					fail(i, err)
+					return
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if failErr != nil {
@@ -233,16 +473,23 @@ func Phase2Sweep(m *elab.Model, measures []measure.Measure, points [][]float64, 
 
 // sweepBatched solves the non-anchor points of a sweep through the batched
 // kernel: points[1:] are packed in index order into chunks of laneWidth
-// lanes, each chunk is one ctmc.SolveBatch call seeded from the anchor
-// solution, and the chunk's reports are then evaluated in lane order (the
-// measure evaluation rebinds the chain to each point's rates, as the
-// per-point path does). Chunks are independent — every lane seeds from the
-// anchor, never from a chunk-mate — so chunk-level workers change nothing
-// but wall-clock time, and a failure is attributed to the lowest failed
-// global point index, matching the per-point paths.
+// lanes, each chunk is one ctmc.SolveBatchLanes call seeded from the
+// anchor solution, and the chunk's reports are then evaluated in lane
+// order (the measure evaluation rebinds the chain to each point's rates,
+// as the per-point path does). Chunks are independent — every lane seeds
+// from the anchor, never from a chunk-mate — so chunk-level workers change
+// nothing but wall-clock time, and a failure is attributed to the lowest
+// failed global point index, matching the per-point paths. Lanes that fail
+// to converge escalate solo (a lane's base failure is bit-identical to the
+// solo base attempt), and chunks whose every lane was restored from a
+// checkpoint are skipped outright.
 func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float64, opts SweepOptions,
 	reports []*Phase2Report, anchorPi []float64, laneWidth int,
-	report func(map[string]float64) *Phase2Report, attribute func(error, int) error) ([]*Phase2Report, error) {
+	report func(map[string]float64) *Phase2Report, attribute func(error, int) error,
+	mkSolve func([]float64) ctmc.SolveOptions,
+	forcedCE func(*ctmc.CTMC, []float64) (*ctmc.ConvergenceError, error),
+	escalateLane func(*ctmc.CTMC, int, []float64, *ctmc.ConvergenceError, bool) ([]float64, *ctmc.SolveTrace, error),
+	finish func(int, *Phase2Report) error) ([]*Phase2Report, error) {
 
 	// translate maps a SolveBatch failure of the chunk at offset off to
 	// its global point index and the unwrapped per-lane error.
@@ -259,14 +506,36 @@ func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float6
 	// solveChunk solves points[off:off+width] on the given chain and fills
 	// their reports. It returns the failed global point index and error.
 	solveChunk := func(chain *ctmc.CTMC, off, width int) (int, error) {
-		solve := opts.Solve
-		solve.WarmStart = anchorPi
-		pis, err := chain.SolveBatch(points[off:off+width], ctmc.BatchOptions{Solve: solve})
+		if err := fault.Check(opts.Ctx, "core.sweep", off, -1); err != nil {
+			return off, err
+		}
+		pis, laneErrs, err := chain.SolveBatchLanes(points[off:off+width], ctmc.BatchOptions{Solve: mkSolve(anchorPi)})
 		if err != nil {
 			return translate(err, off)
 		}
-		for lane, pi := range pis {
+		for lane := 0; lane < width; lane++ {
 			i := off + lane
+			pi := pis[lane]
+			var trace *ctmc.SolveTrace
+			lerr := laneErrs[lane]
+			forced := false
+			if lerr == nil && faultinject.Fire(faultinject.SiteSweepNonconverge, i) {
+				ce, ferr := forcedCE(chain, anchorPi)
+				if ferr != nil {
+					return i, ferr
+				}
+				lerr = ce
+				forced = true
+			}
+			if lerr != nil {
+				var ce *ctmc.ConvergenceError
+				if opts.Solve.Escalation == ctmc.EscalateLadder && errors.As(lerr, &ce) {
+					pi, trace, lerr = escalateLane(chain, i, anchorPi, ce, forced)
+				}
+			}
+			if lerr != nil {
+				return i, attribute(lerr, i)
+			}
 			if err := chain.Rebind(points[i]); err != nil {
 				return i, err
 			}
@@ -274,9 +543,34 @@ func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float6
 			if err != nil {
 				return i, err
 			}
-			reports[i] = report(values)
+			rep := report(values)
+			rep.Trace = trace
+			if err := finish(i, rep); err != nil {
+				return i, err
+			}
 		}
 		return 0, nil
+	}
+
+	// runChunk is solveChunk under the chunk worker's panic guard; the
+	// injection sites of the chunk's points are consulted up front so an
+	// armed SiteSweepPoint trigger fires in batched mode too.
+	runChunk := func(w int, chain *ctmc.CTMC, off, width int) (idx int, err error) {
+		gerr := fault.Guard("core.sweep", w, fmt.Sprintf("points %d-%d", off, off+width-1), func() error {
+			for k := 0; k < width; k++ {
+				faultinject.MaybePanic(faultinject.SiteSweepPoint, off+k)
+			}
+			var serr error
+			idx, serr = solveChunk(chain, off, width)
+			return serr
+		})
+		if gerr != nil {
+			if err == nil && idx == 0 {
+				idx = off // a recovered panic is attributed to the chunk
+			}
+			return idx, gerr
+		}
+		return idx, err
 	}
 
 	nChunks := (len(points) - 2 + laneWidth) / laneWidth // points[1:] in chunks of laneWidth
@@ -288,6 +582,14 @@ func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float6
 		}
 		return off, width
 	}
+	chunkNeeded := func(off, width int) bool {
+		for k := 0; k < width; k++ {
+			if reports[off+k] == nil {
+				return true
+			}
+		}
+		return false
+	}
 
 	workers := opts.Workers
 	if workers > nChunks {
@@ -296,7 +598,10 @@ func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float6
 	if workers <= 1 {
 		for ch := 0; ch < nChunks; ch++ {
 			off, width := chunkAt(ch)
-			if idx, err := solveChunk(base, off, width); err != nil {
+			if !chunkNeeded(off, width) {
+				continue // every lane restored from the checkpoint
+			}
+			if idx, err := runChunk(0, base, off, width); err != nil {
 				return nil, fmt.Errorf("core: phase 2 sweep: point %d: %w", idx, err)
 			}
 		}
@@ -316,12 +621,16 @@ func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float6
 	claim := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if failErr != nil || next >= nChunks {
-			return -1
+		for failErr == nil && next < nChunks {
+			ch := next
+			next++
+			off, width := chunkAt(ch)
+			if !chunkNeeded(off, width) {
+				continue // every lane restored from the checkpoint
+			}
+			return ch
 		}
-		ch := next
-		next++
-		return ch
+		return -1
 	}
 	fail := func(idx int, err error) {
 		mu.Lock()
@@ -332,7 +641,7 @@ func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float6
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			chain := base.Clone()
 			for {
@@ -341,12 +650,12 @@ func sweepBatched(base *ctmc.CTMC, measures []measure.Measure, points [][]float6
 					return
 				}
 				off, width := chunkAt(ch)
-				if idx, err := solveChunk(chain, off, width); err != nil {
+				if idx, err := runChunk(w, chain, off, width); err != nil {
 					fail(idx, err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if failErr != nil {

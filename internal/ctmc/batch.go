@@ -4,6 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/faultinject"
 )
 
 // BatchOptions tunes SolveBatch.
@@ -69,25 +73,57 @@ func (e *BatchPointError) Unwrap() error { return e.Err }
 // *BatchPointError wrapping that lane's error, with ConvergenceError
 // carrying the lane index and rate vector.
 func (c *CTMC) SolveBatch(points [][]float64, opts BatchOptions) ([][]float64, error) {
+	out, laneErrs, err := c.SolveBatchLanes(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	for k, e := range laneErrs {
+		if e != nil {
+			return nil, &BatchPointError{Point: k, Err: e}
+		}
+	}
+	return out, nil
+}
+
+// SolveBatchLanes is SolveBatch with per-lane failure reporting: laneErrs
+// has one entry per point (nil on success, the lane's *ConvergenceError —
+// already stamped with the lane index and rate vector — on failure), and
+// the converged lanes' results are returned even when other lanes failed,
+// so a caller can escalate exactly the failed lanes (see EscalateFrom)
+// instead of discarding the whole batch. The batch-level error is
+// reserved for failures of the batch as a whole: invalid input,
+// cancellation, and worker panics; when it is non-nil, out and laneErrs
+// are nil.
+//
+// Omega and Escalation must be unset in opts.Solve: lanes always run the
+// scheme-default damping so a lane stays bit-identical to a default solo
+// solve, and escalation re-solves lanes solo where those options apply.
+func (c *CTMC) SolveBatchLanes(points [][]float64, opts BatchOptions) (out [][]float64, laneErrs []error, err error) {
 	K := len(points)
 	if K == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if c.numSlots == 0 {
-		return nil, fmt.Errorf("ctmc: solve batch: chain has no rate slots; use SteadyState per point")
+		return nil, nil, fmt.Errorf("ctmc: solve batch: chain has no rate slots; use SteadyState per point")
+	}
+	if opts.Solve.Omega != 0 {
+		return nil, nil, fmt.Errorf("ctmc: solve batch: Omega is a solo-solver option; batch lanes always use the scheme default")
+	}
+	if opts.Solve.Escalation != EscalateNever {
+		return nil, nil, fmt.Errorf("ctmc: solve batch: Escalation is a solo-solver option; escalate failed lanes with EscalateFrom")
 	}
 	for k, pt := range points {
 		if len(pt) != c.numSlots {
-			return nil, &BatchPointError{Point: k, Err: &RebindError{Want: c.numSlots, Got: len(pt)}}
+			return nil, nil, &BatchPointError{Point: k, Err: &RebindError{Want: c.numSlots, Got: len(pt)}}
 		}
 		for i, v := range pt {
 			if !(v > 0) || math.IsInf(v, 0) {
-				return nil, &BatchPointError{Point: k, Err: &RebindError{Slot: i + 1, Value: v}}
+				return nil, nil, &BatchPointError{Point: k, Err: &RebindError{Slot: i + 1, Value: v}}
 			}
 		}
 	}
 	if len(opts.LaneTolerances) != 0 && len(opts.LaneTolerances) != K {
-		return nil, fmt.Errorf("ctmc: solve batch: %d lane tolerances for %d points", len(opts.LaneTolerances), K)
+		return nil, nil, fmt.Errorf("ctmc: solve batch: %d lane tolerances for %d points", len(opts.LaneTolerances), K)
 	}
 	solve := solveDefaults(opts.Solve)
 	tol := make([]float64, K)
@@ -95,17 +131,17 @@ func (c *CTMC) SolveBatch(points [][]float64, opts BatchOptions) ([][]float64, e
 		tol[k] = solve.Tolerance
 		if opts.LaneTolerances != nil {
 			if t := opts.LaneTolerances[k]; !(t > 0) || math.IsInf(t, 0) {
-				return nil, fmt.Errorf("ctmc: solve batch: lane %d tolerance %v is not positive and finite", k, t)
+				return nil, nil, fmt.Errorf("ctmc: solve batch: lane %d tolerance %v is not positive and finite", k, t)
 			}
 			tol[k] = opts.LaneTolerances[k]
 		}
 	}
 
-	plan, err := c.ensurePlan()
-	if err != nil {
-		return nil, err
+	plan, perr := c.ensurePlan()
+	if perr != nil {
+		return nil, nil, perr
 	}
-	out := make([][]float64, K)
+	out = make([][]float64, K)
 
 	// An absorbing single state gets all the probability, in every lane.
 	if len(plan.target) == 1 {
@@ -114,7 +150,7 @@ func (c *CTMC) SolveBatch(points [][]float64, opts BatchOptions) ([][]float64, e
 			pi[plan.target[0]] = 1
 			out[k] = pi
 		}
-		return out, nil
+		return out, make([]error, K), nil
 	}
 
 	bc := c.fillBatch(plan, points)
@@ -130,7 +166,10 @@ func (c *CTMC) SolveBatch(points [][]float64, opts BatchOptions) ([][]float64, e
 		errs []*ConvergenceError
 	)
 	if resolveSweep(solve, len(plan.target)) == SweepJacobi {
-		cols, errs = bc.jacobiBatch(solve, tol, start)
+		cols, errs, err = bc.jacobiBatch(solve, tol, start)
+		if err != nil {
+			return nil, nil, err
+		}
 		if solve.Sweep == SweepAuto {
 			// Auto mode retries the failed lanes with the sequential sweep
 			// from the original start — the same fallback a solo auto solve
@@ -147,30 +186,36 @@ func (c *CTMC) SolveBatch(points [][]float64, opts BatchOptions) ([][]float64, e
 				for i, k := range retry {
 					subTol[i] = tol[k]
 				}
-				subCols, subErrs := sub.gaussSeidelBatch(solve, subTol, start)
+				subCols, subErrs, subErr := sub.gaussSeidelBatch(solve, subTol, start)
+				if subErr != nil {
+					return nil, nil, subErr
+				}
 				for i, k := range retry {
 					cols[k], errs[k] = subCols[i], subErrs[i]
 				}
 			}
 		}
 	} else {
-		cols, errs = bc.gaussSeidelBatch(solve, tol, start)
+		cols, errs, err = bc.gaussSeidelBatch(solve, tol, start)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
+	laneErrs = make([]error, K)
 	for k := 0; k < K; k++ {
 		if ce := errs[k]; ce != nil {
 			ce.Point = k
 			ce.Params = append([]float64(nil), points[k]...)
-			return nil, &BatchPointError{Point: k, Err: ce}
+			laneErrs[k] = ce
+			continue
 		}
-	}
-	for k, col := range cols {
 		pi := make([]float64, c.N)
 		for j, s := range plan.target {
-			pi[s] = col[j]
+			pi[s] = cols[k][j]
 		}
 		out[k] = pi
 	}
-	return out, nil
+	return out, laneErrs, nil
 }
 
 // batchComponent is the K-lane analogue of component: the incoming CSR
@@ -298,10 +343,11 @@ func (bc *batchComponent) spread(start []float64) []float64 {
 // result: lanes never mix, and a compacted lane keeps its exact column
 // values and its running residual. It returns one column or one error per
 // lane (never both).
-func (bc *batchComponent) gaussSeidelBatch(solve SolveOptions, tol []float64, start []float64) ([][]float64, []*ConvergenceError) {
+func (bc *batchComponent) gaussSeidelBatch(solve SolveOptions, tol []float64, start []float64) ([][]float64, []*ConvergenceError, error) {
 	K := bc.k
 	out := make([][]float64, K)
 	errs := make([]*ConvergenceError, K)
+	cancel := cancelChan(solve.Ctx)
 
 	// The current, possibly compacted, view of the batch: cur holds the
 	// rates of the lanes still being swept, x their iterate slab, and
@@ -321,6 +367,9 @@ func (bc *batchComponent) gaussSeidelBatch(solve SolveOptions, tol []float64, st
 	scale := make([]float64, K)
 	iter := 0
 	for ; iter < solve.MaxIterations && remaining > 0; iter++ {
+		if err := pollSolve(solve.Ctx, cancel, iter); err != nil {
+			return nil, nil, err
+		}
 		w := cur.k
 		for k := 0; k < w; k++ {
 			delta[k] = 0
@@ -368,7 +417,7 @@ func (bc *batchComponent) gaussSeidelBatch(solve SolveOptions, tol []float64, st
 			errs[lanes[k]] = &ConvergenceError{Iterations: solve.MaxIterations, Residual: delta[k], Tolerance: curTol[k], Sweep: SweepGaussSeidel, Point: -1}
 		}
 	}
-	return out, errs
+	return out, errs, nil
 }
 
 // compactBatch narrows a batch to its live lanes: the rate arrays are
@@ -737,7 +786,7 @@ const batchTileRows = 256
 // sweep a solo run would return; as in gaussSeidelBatch, finished lanes
 // ride along in the full-width kernel with their bookkeeping skipped —
 // lanes never mix, so riding along cannot change any result.
-func (bc *batchComponent) jacobiBatch(solve SolveOptions, tol []float64, start []float64) ([][]float64, []*ConvergenceError) {
+func (bc *batchComponent) jacobiBatch(solve SolveOptions, tol []float64, start []float64) ([][]float64, []*ConvergenceError, error) {
 	n, K := bc.n, bc.k
 	x := bc.spread(start)
 	next := make([]float64, n*K)
@@ -745,6 +794,7 @@ func (bc *batchComponent) jacobiBatch(solve SolveOptions, tol []float64, start [
 	errs := make([]*ConvergenceError, K)
 	laneDone := make([]bool, K)
 	remaining := K
+	cancel := cancelChan(solve.Ctx)
 
 	nTiles := (n + batchTileRows - 1) / batchTileRows
 	workers := solve.Workers
@@ -766,6 +816,31 @@ func (bc *batchComponent) jacobiBatch(solve SolveOptions, tol []float64, start [
 		}
 	}
 
+	// A panicking tile is recovered into a *fault.WorkerPanicError rather
+	// than crashing the pool; the lowest tile index wins, matching the
+	// failure a sequential tile loop would hit first. The mutex write
+	// happens before the done-channel send, so the dispatcher's read after
+	// the drain is ordered after every worker's write.
+	var (
+		panicMu  sync.Mutex
+		panicIdx = nTiles
+		panicErr error
+	)
+	runTile := func(w, tb int) {
+		err := fault.Guard("ctmc.batch", w, fmt.Sprintf("tile %d", tb), func() error {
+			faultinject.MaybePanic(faultinject.SiteBatchTile, tb)
+			sweepTile(tb)
+			return nil
+		})
+		if err != nil {
+			panicMu.Lock()
+			if panicErr == nil || tb < panicIdx {
+				panicIdx, panicErr = tb, err
+			}
+			panicMu.Unlock()
+		}
+	}
+
 	// Persistent pool: workers stay parked on the work channel between
 	// sweeps; the channel operations order each sweep's buffer swap
 	// before the tile work, and the tile work before the reduction.
@@ -778,12 +853,12 @@ func (bc *batchComponent) jacobiBatch(solve SolveOptions, tol []float64, start [
 		work = make(chan int, nTiles)
 		done = make(chan int, nTiles)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				for b := range work {
-					sweepTile(b)
+					runTile(w, b)
 					done <- b
 				}
-			}()
+			}(w)
 		}
 		defer close(work)
 	}
@@ -793,6 +868,9 @@ func (bc *batchComponent) jacobiBatch(solve SolveOptions, tol []float64, start [
 	scale := make([]float64, K)
 	iter := 0
 	for ; iter < solve.MaxIterations && remaining > 0; iter++ {
+		if err := pollSolve(solve.Ctx, cancel, iter); err != nil {
+			return nil, nil, err
+		}
 		if work != nil {
 			for b := 0; b < nTiles; b++ {
 				work <- b
@@ -802,8 +880,11 @@ func (bc *batchComponent) jacobiBatch(solve SolveOptions, tol []float64, start [
 			}
 		} else {
 			for b := 0; b < nTiles; b++ {
-				sweepTile(b)
+				runTile(0, b)
 			}
+		}
+		if panicErr != nil {
+			return nil, nil, panicErr
 		}
 		// Normalize to avoid drift: one full-width pass accumulates every
 		// live lane's canonical sequential sum, one full-width pass
@@ -853,7 +934,7 @@ func (bc *batchComponent) jacobiBatch(solve SolveOptions, tol []float64, start [
 			errs[k] = &ConvergenceError{Iterations: solve.MaxIterations, Residual: delta[k], Tolerance: tol[k], Sweep: SweepJacobi, Point: -1}
 		}
 	}
-	return out, errs
+	return out, errs, nil
 }
 
 // jacobiTile is one full-width tile of a damped Jacobi sweep. Finished

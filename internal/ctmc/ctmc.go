@@ -464,7 +464,7 @@ func (c *CTMC) Rebind(values []float64) error {
 	c.poissonMu.Unlock()
 	if EnableDebugChecks {
 		if err := c.debugCheckPlan(); err != nil {
-			panic(err)
+			return &InvariantError{Err: err}
 		}
 	}
 	return nil
@@ -473,10 +473,29 @@ func (c *CTMC) Rebind(values []float64) error {
 // EnableDebugChecks turns on expensive internal consistency assertions —
 // currently the post-Rebind check that the cached structural solve plan
 // still matches a from-scratch analysis (a rate-only rebind must preserve
-// reachability and SCC structure; a violation panics, since it means the
-// rebind validation let a structural change through). The property tests
-// enable it; production callers leave it off.
+// reachability and SCC structure; a violation surfaces as an
+// *InvariantError, since it means the rebind validation let a structural
+// change through). The property tests enable it; production callers leave
+// it off.
 var EnableDebugChecks = false
+
+// InvariantError reports a violated internal consistency invariant — a
+// bug in this package, not a property of the input. The fault-tolerance
+// layer treats it accordingly: the escalation ladder never retries it,
+// sweeps abort on it, and it is reported as-is rather than wrapped in a
+// retryable error.
+type InvariantError struct {
+	// Err describes the violated invariant.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("ctmc: internal invariant violated: %v", e.Err)
+}
+
+// Unwrap exposes the underlying description to errors.Is/As.
+func (e *InvariantError) Unwrap() error { return e.Err }
 
 // Clone returns a chain that shares all immutable structure with c (the
 // LTS, vanishing bookkeeping, tangible indexing, contribution terms) but

@@ -1,0 +1,212 @@
+package ctmc
+
+import "errors"
+
+// Escalation selects the convergence-failure policy of SteadyStateTraced.
+type Escalation int
+
+const (
+	// EscalateNever surfaces a ConvergenceError as-is (the default).
+	EscalateNever Escalation = iota
+	// EscalateLadder retries a failed solve through a fixed, cumulative
+	// ladder of configuration changes:
+	//
+	//	rung 1: raise MaxIterations ×4
+	//	rung 2: switch the sweep scheme (Gauss-Seidel ↔ Jacobi)
+	//	rung 3: halve the damping factor Omega
+	//	rung 4: drop the warm start (cold restart; skipped when the
+	//	        attempt was already cold)
+	//
+	// Every rung keeps the changes of the rungs below it, each attempt is
+	// recorded in the SolveTrace, and the ladder position is a pure
+	// function of the solve's input — options and chain — never of
+	// scheduling, so an escalated result is reproducible at any worker
+	// count and flagged by its trace, never silent. Only a
+	// ConvergenceError advances the ladder; cancellation, invariant
+	// violations, and structural errors abort it immediately.
+	EscalateLadder
+)
+
+// escalateIterFactor is the MaxIterations multiplier of the ladder's
+// first rung.
+const escalateIterFactor = 4
+
+// SolveAttempt records one attempt of an escalated solve.
+type SolveAttempt struct {
+	// Rung is the ladder position: 0 for the base attempt, 1..4 for the
+	// escalation rungs.
+	Rung int
+	// Action names what changed at this rung: "base" (or
+	// "forced-nonconvergence" when fault injection failed the base
+	// attempt), "raise-max-iterations", "switch-sweep",
+	// "increase-damping", "cold-restart".
+	Action string
+	// Sweep, MaxIterations, and Omega are the attempt's resolved solver
+	// configuration (Sweep is never SweepAuto).
+	Sweep         Sweep
+	MaxIterations int
+	Omega         float64
+	// WarmStart reports whether the attempt was seeded from a warm start.
+	WarmStart bool
+	// Converged reports whether the attempt succeeded.
+	Converged bool
+	// Iterations and Residual are the failing attempt's final iteration
+	// count and residual (zero for a converged attempt: the solver does
+	// not report them on success).
+	Iterations int
+	Residual   float64
+}
+
+// SolveTrace is the attempt history of an escalated solve, attached to
+// sweep reports so escalated points are flagged and reproducible.
+type SolveTrace struct {
+	// Attempts lists every attempt in rung order; Attempts[0] is the base
+	// attempt.
+	Attempts []SolveAttempt
+}
+
+// Escalated reports whether the solve needed the ladder (any attempt
+// beyond the base one).
+func (t *SolveTrace) Escalated() bool { return t != nil && len(t.Attempts) > 1 }
+
+// ResolveSolve reports the configuration a SteadyState call with these
+// options actually runs: defaults filled, the SweepAuto rule applied
+// against the chain's recurrent component, and the damping factor
+// resolved to the selected scheme's default when unset. The escalation
+// ladder starts from this resolved configuration. Note that in SweepAuto
+// mode the resolved scheme depends on opts.Workers; callers comparing
+// traces across worker counts must pin an explicit sweep mode.
+func (c *CTMC) ResolveSolve(opts SolveOptions) (SolveOptions, error) {
+	opts = solveDefaults(opts)
+	plan, err := c.ensurePlan()
+	if err != nil {
+		return opts, err
+	}
+	opts.Sweep = resolveSweep(opts, len(plan.target))
+	if opts.Omega == 0 {
+		if opts.Sweep == SweepJacobi {
+			opts.Omega = jacobiOmega
+		} else {
+			opts.Omega = 1
+		}
+	}
+	return opts, nil
+}
+
+// attemptRecord summarizes one solve outcome for the trace.
+func attemptRecord(rung int, action string, cfg SolveOptions, err error) SolveAttempt {
+	a := SolveAttempt{
+		Rung:          rung,
+		Action:        action,
+		Sweep:         cfg.Sweep,
+		MaxIterations: cfg.MaxIterations,
+		Omega:         cfg.Omega,
+		WarmStart:     len(cfg.WarmStart) > 0,
+		Converged:     err == nil,
+	}
+	var ce *ConvergenceError
+	if errors.As(err, &ce) {
+		// Record the scheme that actually failed: in auto mode the base
+		// attempt may have fallen back from Jacobi to Gauss-Seidel.
+		a.Sweep = ce.Sweep
+		a.Iterations = ce.Iterations
+		a.Residual = ce.Residual
+	}
+	return a
+}
+
+// SteadyStateTraced is SteadyState with an attempt trace and, when
+// opts.Escalation is EscalateLadder, the deterministic convergence
+// escalation described there. On success the trace's last attempt is the
+// converged one; Escalated() reports whether the base configuration
+// sufficed. On failure the trace records every exhausted rung and the
+// returned error is the last rung's.
+func (c *CTMC) SteadyStateTraced(opts SolveOptions) ([]float64, *SolveTrace, error) {
+	resolved, err := c.ResolveSolve(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	pi, err := c.SteadyState(opts)
+	trace := &SolveTrace{Attempts: []SolveAttempt{attemptRecord(0, "base", resolved, err)}}
+	if err == nil {
+		return pi, trace, nil
+	}
+	if opts.Escalation != EscalateLadder || !errors.Is(err, ErrNoConvergence) {
+		return nil, trace, err
+	}
+	return c.EscalateFrom(opts, trace)
+}
+
+// EscalateFrom runs the escalation ladder for options whose base attempt
+// already failed with a ConvergenceError, appending every rung to trace
+// (which may be nil). It exists separately from SteadyStateTraced so the
+// sweep's batched path can escalate exactly the lanes that failed: a
+// batched lane's failure is bit-identical to the solo base attempt's, so
+// starting the ladder from rung 1 reproduces the per-point escalation
+// without re-running the base solve.
+func (c *CTMC) EscalateFrom(opts SolveOptions, trace *SolveTrace) ([]float64, *SolveTrace, error) {
+	if trace == nil {
+		trace = &SolveTrace{}
+	}
+	cur, err := c.ResolveSolve(opts)
+	if err != nil {
+		return nil, trace, err
+	}
+	explicitOmega := opts.Omega != 0
+	rungs := []struct {
+		action string
+		apply  func(o *SolveOptions) bool
+	}{
+		{"raise-max-iterations", func(o *SolveOptions) bool {
+			o.MaxIterations *= escalateIterFactor
+			return true
+		}},
+		{"switch-sweep", func(o *SolveOptions) bool {
+			if o.Sweep == SweepJacobi {
+				o.Sweep = SweepGaussSeidel
+			} else {
+				o.Sweep = SweepJacobi
+			}
+			if !explicitOmega {
+				// Re-resolve the damping to the new scheme's default:
+				// undamped Jacobi oscillates on periodic chains, and damped
+				// Gauss-Seidel converges slower for no benefit.
+				if o.Sweep == SweepJacobi {
+					o.Omega = jacobiOmega
+				} else {
+					o.Omega = 1
+				}
+			}
+			return true
+		}},
+		{"increase-damping", func(o *SolveOptions) bool {
+			o.Omega /= 2
+			return true
+		}},
+		{"cold-restart", func(o *SolveOptions) bool {
+			if len(o.WarmStart) == 0 {
+				return false // already cold; the rung would repeat rung 3
+			}
+			o.WarmStart = nil
+			return true
+		}},
+	}
+	var lastErr error = &ConvergenceError{Sweep: cur.Sweep, Tolerance: cur.Tolerance, Point: -1}
+	for r, rung := range rungs {
+		if !rung.apply(&cur) {
+			continue
+		}
+		pi, err := c.SteadyState(cur)
+		trace.Attempts = append(trace.Attempts, attemptRecord(r+1, rung.action, cur, err))
+		if err == nil {
+			return pi, trace, nil
+		}
+		if !errors.Is(err, ErrNoConvergence) {
+			// Cancellation, invariant violations, and structural failures
+			// are not convergence problems; the ladder must not mask them.
+			return nil, trace, err
+		}
+		lastErr = err
+	}
+	return nil, trace, lastErr
+}

@@ -1,6 +1,11 @@
 package ctmc
 
-import "math"
+import (
+	"context"
+	"math"
+
+	"repro/internal/fault"
+)
 
 // StateReward computes the steady-state expectation of a state reward
 // defined on LTS states: sum over tangible states of pi(s)·reward(ltsState).
@@ -99,6 +104,16 @@ func (c *CTMC) Transient(t, epsilon float64) []float64 {
 // identical weight recurrence and truncation rule, so results are bit for
 // bit the same as recomputing the series inline.
 func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
+	out, _ := c.TransientFromCtx(nil, init, t, epsilon)
+	return out
+}
+
+// TransientFromCtx is TransientFrom with cancellation: the context is
+// polled once per Poisson term, and a cancellation surfaces as a
+// *fault.CanceledError whose Iteration is the term index. A nil context
+// disables polling; the arithmetic of completed terms is unaffected by
+// when — or whether — a cancellation is observed.
+func (c *CTMC) TransientFromCtx(ctx context.Context, init []float64, t, epsilon float64) ([]float64, error) {
 	if epsilon <= 0 {
 		epsilon = 1e-10
 	}
@@ -112,7 +127,7 @@ func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
 	out := make([]float64, c.N)
 	if lambda == 0 || t <= 0 {
 		copy(out, init)
-		return out
+		return out, nil
 	}
 	q := lambda * 1.02 // slack keeps the DTMC aperiodic
 	// P = I + Q/q applied iteratively: v_{k+1} = v_k P.
@@ -121,6 +136,9 @@ func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
 
 	weights := c.poissonWeights(q*t, epsilon)
 	for k, w := range weights {
+		if err := fault.Check(ctx, "ctmc.transient", -1, k); err != nil {
+			return nil, err
+		}
 		for i := range v {
 			out[i] += w * v[i]
 		}
@@ -151,7 +169,7 @@ func (c *CTMC) TransientFrom(init []float64, t, epsilon float64) []float64 {
 			out[i] /= total
 		}
 	}
-	return out
+	return out, nil
 }
 
 // poissonKey identifies a cached uniformization weight vector. The key

@@ -1,11 +1,15 @@
 package ctmc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/faultinject"
 )
 
 // Sweep selects the iteration scheme SteadyState uses on the recurrent
@@ -69,6 +73,25 @@ type SolveOptions struct {
 	// solution, independent of worker count and scheduling (see
 	// core.Phase2Sweep).
 	WarmStart []float64
+	// Ctx optionally makes the solve cancelable: the sweeps poll it at
+	// every iteration boundary and return a *fault.CanceledError carrying
+	// the interrupted iteration. Polling never changes the floats of a
+	// solve that runs to completion. nil disables polling.
+	Ctx context.Context
+	// Omega overrides the sweep's damping factor: the row update becomes
+	// x' = (1-ω)·x + ω·inflow/exit. 0 selects the scheme default (1 for
+	// Gauss-Seidel — the plain update, taken on a branch that performs no
+	// extra arithmetic — and jacobiOmega for Jacobi). The escalation
+	// ladder halves it on its increase-damping rung; callers normally
+	// leave it 0.
+	Omega float64
+	// Escalation selects what SteadyStateTraced does when the configured
+	// solve fails with a ConvergenceError: EscalateNever (the default)
+	// surfaces the error; EscalateLadder deterministically retries
+	// through the fixed ladder described in Escalation's docs, recording
+	// every rung in the returned SolveTrace. Plain SteadyState ignores
+	// the field (it is the ladder's base attempt).
+	Escalation Escalation
 }
 
 // ErrNoConvergence reports that the iterative solver hit its iteration
@@ -396,6 +419,19 @@ func (c *CTMC) debugCheckPlan() error {
 // per-solve path, use it. Clones keep the plan they already share.
 func (c *CTMC) InvalidatePlan() { c.plan = &solvePlan{} }
 
+// StructuralHash returns the FNV-1a fingerprint of the chain's structural
+// solve analysis (recurrent component and incoming-CSR skeleton),
+// computing the analysis on first use. Rate-only rebinds cannot change
+// it, so it identifies "the same chain structure" across processes —
+// the identity the sweep checkpoints verify before resuming.
+func (c *CTMC) StructuralHash() (uint64, error) {
+	p, err := c.ensurePlan()
+	if err != nil {
+		return 0, err
+	}
+	return p.hash, nil
+}
+
 // fillComponent gathers the chain's current rate values into the plan's
 // component skeleton. The traversal replays the uncached builder's fill
 // loop — target rows in order, entries in column-ascending order — so the
@@ -462,13 +498,52 @@ func projectStart(ws []float64, target []int) []float64 {
 	return x
 }
 
+// pollSolve is the per-iteration cancellation point shared by the solver
+// sweeps: it consults the fault-injection iteration site (whose OnFire
+// callback is how tests cancel at an exact iteration) and then polls the
+// cached done channel. It returns a *fault.CanceledError naming the
+// interrupted iteration, or nil.
+func pollSolve(ctx context.Context, done <-chan struct{}, iter int) error {
+	faultinject.Fire(faultinject.SiteSolveIteration, iter)
+	if done == nil {
+		return nil
+	}
+	select {
+	case <-done:
+		return &fault.CanceledError{Phase: "ctmc.steady-state", Point: -1, Iteration: iter, Err: ctx.Err()}
+	default:
+		return nil
+	}
+}
+
+// cancelChan returns the context's done channel, or nil for a nil
+// context, so the sweeps' per-iteration poll is a nil check when
+// cancellation is not in play.
+func cancelChan(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
 // gaussSeidel runs the sequential Gauss-Seidel sweep from the given
 // starting vector: each row update reads the in-place vector, so updates
-// within a sweep feed forward.
+// within a sweep feed forward. A non-default opts.Omega damps the update;
+// at the default ω = 1 the plain update is taken on a branch that
+// performs no extra floating-point operation, so results are bit-for-bit
+// those of the undamped sweep.
 func (p *component) gaussSeidel(opts SolveOptions, start []float64) ([]float64, error) {
 	x := append([]float64(nil), start...)
+	omega := opts.Omega
+	if omega == 0 {
+		omega = 1
+	}
+	done := cancelChan(opts.Ctx)
 	maxDelta := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := pollSolve(opts.Ctx, done, iter); err != nil {
+			return nil, err
+		}
 		maxDelta = 0.0
 		for j := 0; j < p.n; j++ {
 			if p.exit[j] <= 0 {
@@ -479,6 +554,9 @@ func (p *component) gaussSeidel(opts SolveOptions, start []float64) ([]float64, 
 				inflow += x[p.inFrom[k]] * p.inRate[k]
 			}
 			next := inflow * p.invExit[j]
+			if omega != 1 {
+				next = (1-omega)*x[j] + omega*next
+			}
 			d := math.Abs(next - x[j])
 			if m := math.Max(next, 1e-300); d > maxDelta*m*residualGuard {
 				if rel := d / m; rel > maxDelta {
@@ -524,6 +602,11 @@ const jacobiOmega = 0.5
 func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error) {
 	x := append([]float64(nil), start...)
 	next := make([]float64, p.n)
+	omega := opts.Omega
+	if omega == 0 {
+		omega = jacobiOmega
+	}
+	done2 := cancelChan(opts.Ctx)
 
 	workers := opts.Workers
 	if workers > p.n {
@@ -547,7 +630,7 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 				for k := p.inStart[j]; k < p.inStart[j+1]; k++ {
 					inflow += x[p.inFrom[k]] * p.inRate[k]
 				}
-				nx = (1-jacobiOmega)*x[j] + jacobiOmega*(inflow*p.invExit[j])
+				nx = (1-omega)*x[j] + omega*(inflow*p.invExit[j])
 			}
 			dd := math.Abs(nx - x[j])
 			if m := math.Max(nx, 1e-300); dd > d*m*residualGuard {
@@ -560,6 +643,32 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 		blockDelta[b] = d
 	}
 
+	// Block tasks run behind the shared panic guard — on the pool and on
+	// the single-block inline path alike — so a panicking row surfaces as
+	// a *fault.WorkerPanicError naming the block, with the lowest block
+	// index winning when several blocks panic in one sweep, instead of
+	// killing the process. A recovered worker still reports its block on
+	// the done channel, so the dispatcher's drain never wedges.
+	var (
+		panicMu  sync.Mutex
+		panicIdx = nblocks
+		panicErr error
+	)
+	runBlock := func(w, b int) {
+		err := fault.Guard("ctmc.jacobi", w, fmt.Sprintf("block %d", b), func() error {
+			faultinject.MaybePanic(faultinject.SiteJacobiBlock, b)
+			sweepBlock(b)
+			return nil
+		})
+		if err != nil {
+			panicMu.Lock()
+			if panicErr == nil || b < panicIdx {
+				panicIdx, panicErr = b, err
+			}
+			panicMu.Unlock()
+		}
+	}
+
 	// Persistent pool: workers stay parked on the work channel between
 	// sweeps, so a sweep costs two channel hops per block instead of a
 	// goroutine spawn. The channel operations order each sweep's vector
@@ -569,18 +678,21 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 		work = make(chan int)
 		done = make(chan int)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				for b := range work {
-					sweepBlock(b)
+					runBlock(w, b)
 					done <- b
 				}
-			}()
+			}(w)
 		}
 		defer close(work)
 	}
 
 	maxDelta := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := pollSolve(opts.Ctx, done2, iter); err != nil {
+			return nil, err
+		}
 		if nblocks > 1 {
 			for b := 0; b < nblocks; b++ {
 				work <- b
@@ -589,7 +701,10 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 				<-done
 			}
 		} else {
-			sweepBlock(0)
+			runBlock(0, 0)
+		}
+		if panicErr != nil {
+			return nil, panicErr
 		}
 		maxDelta = 0.0
 		for _, d := range blockDelta {

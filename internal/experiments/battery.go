@@ -103,7 +103,10 @@ func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 			if step >= maxSteps {
 				return BatteryPoint{}, fmt.Errorf("experiments: battery integration exceeded %d steps", maxSteps)
 			}
-			next := chain.TransientFrom(pi, dt, 1e-9)
+			next, err := chain.TransientFromCtx(DefaultContext, pi, dt, 1e-9)
+			if err != nil {
+				return BatteryPoint{}, err
+			}
 			eNext, err := energyAt(next)
 			if err != nil {
 				return BatteryPoint{}, err

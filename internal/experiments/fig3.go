@@ -56,7 +56,7 @@ func rpcTimeoutSweep(timeouts []float64) ([]*core.Phase2Report, error) {
 	for i, T := range timeouts {
 		points[i] = []float64{1 / T}
 	}
-	return core.Phase2Sweep(m, models.RPCMeasures(p), points, sweepOpts())
+	return core.Phase2Sweep(m, models.RPCMeasures(p), points, sweepOpts("fig3-rpc-timeout"))
 }
 
 // Fig3Markov reproduces the left-hand side of paper Fig. 3: the Markovian
@@ -197,6 +197,9 @@ func applyRPCSimDefaults(s *core.SimSettings) {
 	}
 	if s.Workers == 0 {
 		s.Workers = workersOr(0)
+	}
+	if s.Ctx == nil {
+		s.Ctx = DefaultContext
 	}
 }
 

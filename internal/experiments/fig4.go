@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/models"
 )
@@ -74,7 +76,7 @@ func streamingPeriodSweep(periods []float64, scale Scale) ([]*core.Phase2Report,
 	for i, P := range periods {
 		points[i] = []float64{1 / P}
 	}
-	return core.Phase2Sweep(m, models.StreamingMeasures(p), points, sweepOpts())
+	return core.Phase2Sweep(m, models.StreamingMeasures(p), points, sweepOpts(fmt.Sprintf("fig4-streaming-scale%d", scale)))
 }
 
 // Fig4Markov reproduces paper Fig. 4: the Markovian streaming comparison

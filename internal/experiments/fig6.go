@@ -23,6 +23,9 @@ func applyStreamingSimDefaults(s *core.SimSettings) {
 	if s.Workers == 0 {
 		s.Workers = workersOr(0)
 	}
+	if s.Ctx == nil {
+		s.Ctx = DefaultContext
+	}
 }
 
 // Fig6General reproduces paper Fig. 6: the general streaming model

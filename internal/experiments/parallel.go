@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/elab"
+	"repro/internal/fault"
 	"repro/internal/lts"
 	"repro/internal/models"
 )
@@ -30,6 +34,26 @@ var DefaultWorkers = runtime.NumCPU()
 // threshold, parallel Jacobi above).
 var DefaultSolve ctmc.SolveOptions
 
+// DefaultContext cancels every experiment driven through the package
+// defaults: state-space generation, steady-state solves, sweeps,
+// transient integrations, and simulations all poll it. Nil (the default)
+// disables cancellation. The cmd/ study tools set it from their -timeout
+// flag; cancellation surfaces as a *fault.CanceledError naming the phase
+// and point that observed it.
+var DefaultContext context.Context
+
+// DefaultCheckpointDir, when non-empty, makes every Markovian sweep of
+// the package resumable: each sweep writes its checkpoint to
+// <dir>/<name>.ckpt (core.CheckpointOptions) and, when
+// DefaultCheckpointResume is set, replays completed points from an
+// existing file instead of re-solving them — with reports bit-identical
+// to an uninterrupted run. The cmd/ study tools set these from their
+// -checkpoint and -resume flags.
+var (
+	DefaultCheckpointDir    string
+	DefaultCheckpointResume bool
+)
+
 // DefaultLaneWidth is the sweep-batching lane width the Markovian sweeps
 // pass to core.Phase2Sweep: 0 lets the sweep auto-select
 // (core.DefaultLaneWidth points per batched solve), 1 forces the
@@ -42,29 +66,45 @@ var DefaultLaneWidth = 0
 // and core.Phase2ModelSolve: the package worker default applied to the
 // frontier-expansion pool.
 func genOpts() lts.GenerateOptions {
-	return lts.GenerateOptions{GenWorkers: workersOr(0)}
+	return lts.GenerateOptions{GenWorkers: workersOr(0), Ctx: DefaultContext}
 }
 
 // solveOpts is the solver configuration the Markovian sweeps use: the
-// package sweep-mode default with the worker default applied.
+// package sweep-mode default with the worker and cancellation defaults
+// applied.
 func solveOpts() ctmc.SolveOptions {
 	s := DefaultSolve
 	if s.Workers <= 0 {
 		s.Workers = workersOr(0)
 	}
+	if s.Ctx == nil {
+		s.Ctx = DefaultContext
+	}
 	return s
 }
 
 // sweepOpts is the rate-parametric sweep configuration the Markovian
-// sweeps hand to core.Phase2Sweep: the generation, solver, worker, and
-// batching-lane-width defaults of the package.
-func sweepOpts() core.SweepOptions {
-	return core.SweepOptions{
+// sweeps hand to core.Phase2Sweep: the generation, solver, worker,
+// batching-lane-width, cancellation, and checkpoint defaults of the
+// package. name identifies the sweep's checkpoint file inside
+// DefaultCheckpointDir and must be unique per (figure, model structure)
+// pair — a resumed checkpoint is rejected unless its structural hash
+// matches, so distinct sweeps must not share a file.
+func sweepOpts(name string) core.SweepOptions {
+	opts := core.SweepOptions{
 		Gen:       genOpts(),
 		Solve:     solveOpts(),
 		Workers:   workersOr(0),
 		LaneWidth: DefaultLaneWidth,
+		Ctx:       DefaultContext,
 	}
+	if DefaultCheckpointDir != "" {
+		opts.Checkpoint = &core.CheckpointOptions{
+			Path:   filepath.Join(DefaultCheckpointDir, name+".ckpt"),
+			Resume: DefaultCheckpointResume,
+		}
+	}
+	return opts
 }
 
 // workersOr resolves an explicit worker count against the package
@@ -83,15 +123,26 @@ func workersOr(n int) int {
 // returns the results in point order. Points are claimed in index order
 // and the pool stops handing out work after the first failure; the
 // reported error is the lowest-index one, exactly what a sequential loop
-// would return. workers <= 1 runs sequentially.
+// would return. A panicking fn is recovered into a
+// *fault.WorkerPanicError attributed to its worker and point instead of
+// crashing the process. workers <= 1 runs sequentially.
 func RunPoints[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, error) {
+	call := func(w, i int) (R, error) {
+		var r R
+		err := fault.Guard("experiments", w, fmt.Sprintf("point %d", i), func() error {
+			var ferr error
+			r, ferr = fn(points[i])
+			return ferr
+		})
+		return r, err
+	}
 	out := make([]R, len(points))
 	if workers > len(points) {
 		workers = len(points)
 	}
 	if workers <= 1 {
-		for i, p := range points {
-			r, err := fn(p)
+		for i := range points {
+			r, err := call(0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -107,14 +158,14 @@ func RunPoints[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, e
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) || stop.Load() {
 					return
 				}
-				r, err := fn(points[i])
+				r, err := call(w, i)
 				if err != nil {
 					errs[i] = err
 					stop.Store(true)
@@ -122,7 +173,7 @@ func RunPoints[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, e
 				}
 				out[i] = r
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {

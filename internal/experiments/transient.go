@@ -71,8 +71,15 @@ func StreamingStartupTransient(times []float64, awakePeriod float64, scale Scale
 			return nil, fmt.Errorf("experiments: sample times must be non-decreasing")
 		}
 		dt := t - prev
-		piD = withDPM.TransientFrom(piD, dt, 1e-9)
-		piN = noDPM.TransientFrom(piN, dt, 1e-9)
+		var err error
+		piD, err = withDPM.TransientFromCtx(DefaultContext, piD, dt, 1e-9)
+		if err != nil {
+			return nil, err
+		}
+		piN, err = noDPM.TransientFromCtx(DefaultContext, piN, dt, 1e-9)
+		if err != nil {
+			return nil, err
+		}
 		prev = t
 		pd, err := pEmpty(withDPM, piD)
 		if err != nil {

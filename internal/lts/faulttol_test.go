@@ -1,0 +1,82 @@
+package lts
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/faultinject"
+)
+
+// TestGeneratePanicIsolated injects a panic into a state-expansion task
+// and checks it surfaces as a typed worker-panic error — with the
+// injected fault reachable — instead of crashing, on both the inline
+// (one-worker) and pooled frontier-expansion paths.
+func TestGeneratePanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		plan := faultinject.NewPlan().Arm(faultinject.SiteGenerateExpand, 5)
+		faultinject.Activate(plan)
+		_, err := Generate(gridModel(t, 3), GenerateOptions{GenWorkers: workers})
+		faultinject.Deactivate()
+		if err == nil {
+			t.Fatalf("workers=%d: injected panic vanished", workers)
+		}
+		var wpe *fault.WorkerPanicError
+		if !errors.As(err, &wpe) {
+			t.Fatalf("workers=%d: want *fault.WorkerPanicError, got %T: %v", workers, err, err)
+		}
+		if wpe.Pool != "lts.generate" {
+			t.Errorf("workers=%d: panic attributed to pool %q, want lts.generate", workers, wpe.Pool)
+		}
+		if !errors.Is(err, fault.ErrWorkerPanic) {
+			t.Errorf("workers=%d: errors.Is(err, fault.ErrWorkerPanic) is false", workers)
+		}
+		var ie *faultinject.InjectedError
+		if !errors.As(err, &ie) || ie.Site != faultinject.SiteGenerateExpand || ie.Key != 5 {
+			t.Errorf("workers=%d: injected fault not recovered intact: %v", workers, err)
+		}
+	}
+}
+
+// TestGenerateCancel checks that generation observes a canceled context at
+// a BFS level boundary and reports the typed cancellation error.
+func TestGenerateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Generate(gridModel(t, 3), GenerateOptions{Ctx: ctx})
+	if err == nil {
+		t.Fatal("canceled generation succeeded")
+	}
+	var ce *fault.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *fault.CanceledError, got %T: %v", err, err)
+	}
+	if ce.Phase != "lts.generate" {
+		t.Errorf("canceled in phase %q, want lts.generate", ce.Phase)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause chain lost context.Canceled: %v", err)
+	}
+}
+
+// TestGenerateDeterministicAfterRecovery pins that fault instrumentation
+// is observation-only: generating with a plan armed for keys that never
+// match (out of range) yields the same LTS as generating with no plan.
+func TestGenerateDeterministicAfterRecovery(t *testing.T) {
+	ref, err := Generate(gridModel(t, 3), GenerateOptions{GenWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.NewPlan().Arm(faultinject.SiteGenerateExpand, 1<<30)
+	faultinject.Activate(plan)
+	got, err := Generate(gridModel(t, 3), GenerateOptions{GenWorkers: 4})
+	faultinject.Deactivate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumStates != got.NumStates || ref.NumTransitions() != got.NumTransitions() {
+		t.Errorf("armed-but-unfired plan changed the LTS: %d/%d states, %d/%d transitions",
+			ref.NumStates, got.NumStates, ref.NumTransitions(), got.NumTransitions())
+	}
+}

@@ -1,12 +1,15 @@
 package lts
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/elab"
+	"repro/internal/fault"
+	"repro/internal/faultinject"
 	"repro/internal/statespace"
 )
 
@@ -42,6 +45,12 @@ type GenerateOptions struct {
 	// runs sequentially. The generated LTS — state numbering, transition
 	// order, predicate columns — is bit-identical at any value.
 	GenWorkers int
+	// Ctx cancels generation: it is polled at every BFS level boundary and
+	// before each predicate column, and a cancellation surfaces as a
+	// *fault.CanceledError (phase "lts.generate", Iteration = level). A
+	// nil context disables polling. Cancellation never perturbs the states
+	// already interned — it only stops the exploration early.
+	Ctx context.Context
 }
 
 // TooManyStatesError reports that generation exceeded MaxStates.
@@ -77,13 +86,16 @@ const genChunk = 32
 const minParallelFrontier = 2 * genChunk
 
 // parFor runs fn over [0, n) on a pool of workers claiming ascending
-// fixed-size chunks. On failure the pool stops claiming new chunks, every
-// claimed chunk still runs up to its own first failure, and parFor
-// returns the lowest failing index with its error — the failure a
-// sequential loop over [0, n) would have hit first. Because chunks are
-// claimed in ascending order, every index below the returned one has been
-// processed successfully.
-func parFor(n, workers int, fn func(i int) error) (int, error) {
+// fixed-size chunks; w is the worker index running the call. On failure
+// the pool stops claiming new chunks, every claimed chunk still runs up
+// to its own first failure, and parFor returns the lowest failing index
+// with its error — the failure a sequential loop over [0, n) would have
+// hit first. Because chunks are claimed in ascending order, every index
+// below the returned one has been processed successfully. A panicking fn
+// is recovered into a *fault.WorkerPanicError (pool name, worker, index)
+// and treated as that index's failure, so one crashing task never takes
+// down the process and attribution follows the same lowest-index rule.
+func parFor(pool string, n, workers int, fn func(w, i int) error) (int, error) {
 	type failure struct {
 		idx int
 		err error
@@ -109,7 +121,10 @@ func parFor(n, workers int, fn func(i int) error) (int, error) {
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					if err := fn(i); err != nil {
+					err := fault.Guard(pool, w, fmt.Sprintf("index %d", i), func() error {
+						return fn(w, i)
+					})
+					if err != nil {
 						fails[w] = failure{idx: i, err: err}
 						stop.Store(true)
 						return
@@ -200,7 +215,24 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		return fmt.Errorf("lts: expanding state %s: %w", m.Describe(src), err)
 	}
 
-	for levelStart := 0; levelStart < len(states); {
+	// expand computes one state's successor list under a panic guard, so a
+	// crash in the elaborated model's successor code (or an injected fault
+	// keyed by the state's dense identifier) surfaces as an error instead
+	// of taking down the process — on the inline path and the pool alike.
+	expand := func(w, qi int, s elab.State) (ts []elab.Transition, err error) {
+		err = fault.Guard("lts.generate", w, fmt.Sprintf("state %d", qi), func() error {
+			faultinject.MaybePanic(faultinject.SiteGenerateExpand, qi)
+			var serr error
+			ts, serr = m.Successors(s)
+			return serr
+		})
+		return ts, err
+	}
+
+	for level, levelStart := 0, 0; levelStart < len(states); level++ {
+		if err := fault.Check(opts.Ctx, "lts.generate", -1, level); err != nil {
+			return nil, err
+		}
 		levelEnd := len(states)
 		n := levelEnd - levelStart
 		if workers == 1 || n < minParallelFrontier {
@@ -208,7 +240,7 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 			// the same either way, so mixing inline and pooled levels does
 			// not perturb the numbering.
 			for qi := levelStart; qi < levelEnd; qi++ {
-				ts, err := m.Successors(states[qi])
+				ts, err := expand(0, qi, states[qi])
 				if err != nil {
 					return nil, expandErr(states[qi], err)
 				}
@@ -225,8 +257,8 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		// exactly the prefix a sequential run would have processed.
 		results := make([][]elab.Transition, n)
 		frontier := states[levelStart:levelEnd]
-		failIdx, failErr := parFor(n, workers, func(i int) error {
-			ts, err := m.Successors(frontier[i])
+		failIdx, failErr := parFor("lts.generate", n, workers, func(w, i int) error {
+			ts, err := expand(w, levelStart+i, frontier[i])
 			if err != nil {
 				return err
 			}
@@ -261,6 +293,9 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		l.PredNames = make([]string, len(opts.Predicates))
 		l.Preds = make([][]bool, len(opts.Predicates))
 		for p, pred := range opts.Predicates {
+			if err := fault.Check(opts.Ctx, "lts.predicates", p, -1); err != nil {
+				return nil, err
+			}
 			l.PredNames[p] = pred.Name()
 			col := make([]bool, len(states))
 			eval := func(i int) error {
@@ -282,7 +317,7 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 				// Each column cell is written by exactly one worker; the
 				// column is a pure function of the state set, so sharding
 				// cannot perturb it.
-				_, err = parFor(len(states), workers, eval)
+				_, err = parFor("lts.predicates", len(states), workers, func(w, i int) error { return eval(i) })
 			}
 			if err != nil {
 				return nil, fmt.Errorf("lts: predicate %s: %w", pred.Name(), err)

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/faultinject"
+)
+
+// TestReplicationPanicIsolated injects a panic into one replication and
+// checks it surfaces as a typed worker-panic error naming the replication,
+// on both the sequential and pooled paths.
+func TestReplicationPanicIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		plan := faultinject.NewPlan().Arm(faultinject.SiteSimReplication, 2)
+		faultinject.Activate(plan)
+		_, err := Run(Config{
+			Model:        workRestModel(t, 2, 1),
+			Measures:     workRestMeasures,
+			RunLength:    100,
+			Replications: 4,
+			Seed:         7,
+			Workers:      workers,
+		})
+		faultinject.Deactivate()
+		if err == nil {
+			t.Fatalf("workers=%d: injected panic vanished", workers)
+		}
+		if !strings.Contains(err.Error(), "replication 2") {
+			t.Errorf("workers=%d: error %q does not name replication 2", workers, err)
+		}
+		var wpe *fault.WorkerPanicError
+		if !errors.As(err, &wpe) {
+			t.Fatalf("workers=%d: want *fault.WorkerPanicError, got %T: %v", workers, err, err)
+		}
+		if wpe.Pool != "sim" {
+			t.Errorf("workers=%d: panic attributed to pool %q, want sim", workers, wpe.Pool)
+		}
+		if !errors.Is(err, fault.ErrWorkerPanic) {
+			t.Errorf("workers=%d: errors.Is(err, fault.ErrWorkerPanic) is false", workers)
+		}
+		var ie *faultinject.InjectedError
+		if !errors.As(err, &ie) || ie.Site != faultinject.SiteSimReplication || ie.Key != 2 {
+			t.Errorf("workers=%d: injected fault not recovered intact: %v", workers, err)
+		}
+	}
+}
+
+// TestSimCancel checks that the event loop observes a canceled context and
+// reports the typed cancellation error naming the replication.
+func TestSimCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(Config{
+		Model:        workRestModel(t, 2, 1),
+		Measures:     workRestMeasures,
+		RunLength:    100,
+		Replications: 2,
+		Seed:         7,
+		Ctx:          ctx,
+	})
+	if err == nil {
+		t.Fatal("canceled simulation succeeded")
+	}
+	var ce *fault.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *fault.CanceledError, got %T: %v", err, err)
+	}
+	if ce.Phase != "sim" {
+		t.Errorf("canceled in phase %q, want sim", ce.Phase)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause chain lost context.Canceled: %v", err)
+	}
+}
+
+// TestSimDeterministicWithArmedPlan pins that fault instrumentation is
+// observation-only: estimates with a never-firing plan armed match a
+// plain run exactly.
+func TestSimDeterministicWithArmedPlan(t *testing.T) {
+	cfg := Config{
+		Model:        workRestModel(t, 2, 1),
+		Measures:     workRestMeasures,
+		RunLength:    200,
+		Replications: 3,
+		Seed:         11,
+	}
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.NewPlan().Arm(faultinject.SiteSimReplication, 1<<30)
+	faultinject.Activate(plan)
+	got, err := Run(cfg)
+	faultinject.Deactivate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range ref.Estimates {
+		if got := got.Estimates[name]; got != want {
+			t.Errorf("estimate %s changed under an unfired plan: %v != %v", name, got, want)
+		}
+	}
+}

@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -32,6 +33,8 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/elab"
+	"repro/internal/fault"
+	"repro/internal/faultinject"
 	"repro/internal/lts"
 	"repro/internal/measure"
 	"repro/internal/rates"
@@ -82,6 +85,13 @@ type Config struct {
 	// in replication-index order, so the estimates are bit-identical at
 	// any worker count. Ignored in batch-means mode (a single run).
 	Workers int
+	// Ctx cancels the experiment: every replication polls it periodically
+	// in its event loop, and a cancellation surfaces as a
+	// *fault.CanceledError (phase "sim", Point = replication index). A nil
+	// context disables polling. Completed replications are unaffected —
+	// each draws from its own split stream, so when a cancellation is
+	// observed cannot change any finished observation.
+	Ctx context.Context
 }
 
 // Result reports simulation estimates.
@@ -166,7 +176,7 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Estimates: make(map[string]stats.Interval, len(cfg.Measures))}
 	if cfg.Batches > 0 {
 		// Batch means: one long run, one observation per batch.
-		segs, events, err := r.replicate(master.Split(0), cfg.Batches)
+		segs, events, err := r.replicateGuarded(0, 0, master.Split(0), cfg.Batches)
 		if err != nil {
 			return nil, fmt.Errorf("sim: batch-means run: %w", err)
 		}
@@ -265,7 +275,7 @@ func (r *runner) runReplications(master *rng.Rand) ([][]float64, int64, error) {
 	if workers <= 1 {
 		var events int64
 		for rep := 0; rep < reps; rep++ {
-			segs, ev, err := r.replicate(master.Split(uint64(rep)), 1)
+			segs, ev, err := r.replicateGuarded(0, rep, master.Split(uint64(rep)), 1)
 			if err != nil {
 				return nil, events, fmt.Errorf("sim: replication %d: %w", rep, err)
 			}
@@ -290,7 +300,7 @@ func (r *runner) runReplications(master *rng.Rand) ([][]float64, int64, error) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			wr := r.fork() // private state memo per worker
 			for {
@@ -298,7 +308,7 @@ func (r *runner) runReplications(master *rng.Rand) ([][]float64, int64, error) {
 				if rep >= reps || stop.Load() {
 					return
 				}
-				segs, ev, err := wr.replicate(streams[rep], 1)
+				segs, ev, err := wr.replicateGuarded(w, rep, streams[rep], 1)
 				events.Add(ev)
 				if err != nil {
 					errs[rep] = err
@@ -307,7 +317,7 @@ func (r *runner) runReplications(master *rng.Rand) ([][]float64, int64, error) {
 				}
 				out[rep] = segs[0]
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	// Replications are claimed in index order, so every index below a
@@ -351,11 +361,34 @@ func (r *runner) info(s elab.State) (*stateInfo, error) {
 	return si, nil
 }
 
+// replicateGuarded runs one replication under a panic guard: a crash in
+// the event loop (or an injected fault keyed by the replication index)
+// surfaces as a *fault.WorkerPanicError attributed to this worker and
+// replication instead of taking down the pool.
+func (r *runner) replicateGuarded(w, rep int, rnd *rng.Rand, segments int) (segs [][]float64, ev int64, err error) {
+	err = fault.Guard("sim", w, fmt.Sprintf("replication %d", rep), func() error {
+		faultinject.MaybePanic(faultinject.SiteSimReplication, rep)
+		var rerr error
+		segs, ev, rerr = r.replicate(rep, rnd, segments)
+		return rerr
+	})
+	if err != nil {
+		return nil, ev, err
+	}
+	return segs, ev, nil
+}
+
+// pollEvents is the event-count stride between context polls of a
+// replication's event loop: frequent enough that cancellation lands
+// promptly, sparse enough that the poll never shows up in a profile.
+const pollEvents = 1024
+
 // replicate runs one run whose measurement window is split into the given
 // number of consecutive segments (1 for independent replications, n for
 // batch means) and returns the per-segment measure values (already
-// normalized by the segment length).
-func (r *runner) replicate(rnd *rng.Rand, segments int) ([][]float64, int64, error) {
+// normalized by the segment length). rep is the replication index, used
+// only to attribute a cancellation.
+func (r *runner) replicate(rep int, rnd *rng.Rand, segments int) ([][]float64, int64, error) {
 	var (
 		now        float64
 		events     int64
@@ -419,6 +452,11 @@ func (r *runner) replicate(rnd *rng.Rand, segments int) ([][]float64, int64, err
 	for now < endTime {
 		if events >= int64(r.cfg.MaxEvents) {
 			return nil, events, fmt.Errorf("sim: exceeded %d events", r.cfg.MaxEvents)
+		}
+		if events%pollEvents == 0 {
+			if err := fault.Check(r.cfg.Ctx, "sim", rep, -1); err != nil {
+				return nil, events, err
+			}
 		}
 		si, err := r.info(state)
 		if err != nil {

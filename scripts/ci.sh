@@ -15,21 +15,39 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== go vet =="
+# ./... covers every package; the fault-tolerance layer is named
+# explicitly so a future package split cannot silently drop it from vet.
 go vet ./...
+go vet ./internal/fault/ ./internal/faultinject/
 
 echo "== go build =="
 go build ./...
 
+# Every test invocation carries an explicit -timeout: a deadlocked worker
+# pool (the exact failure class the fault-tolerance layer guards against)
+# must fail CI within the bound instead of hanging the job.
 echo "== go test =="
-go test ./...
+go test -timeout 10m ./...
 
 echo "== go test -race =="
-go test -race ./...
+go test -timeout 10m -race ./...
+
+# Fault-injection smoke under the race detector at -cpu 1,2: one injected
+# worker panic and one injected non-convergence per sweep mode (the
+# TestFaultInjection* and TestSweep*Escalat*/Panic*/Cancel* properties in
+# internal/core and internal/ctmc), on both the degenerate and a two-core
+# schedule. The recovery paths — panic capture, lowest-index attribution,
+# escalation, checkpoint replay — are themselves concurrent code and get
+# their race coverage here.
+echo "== fault-injection smoke (-race -cpu 1,2) =="
+go test -timeout 10m -race -cpu 1,2 \
+    -run 'FaultInject|Panic|Escalat|Cancel|Checkpoint' \
+    ./internal/core/ ./internal/ctmc/ ./internal/lts/ ./internal/sim/ ./internal/faultinject/ ./internal/fault/
 
 # Benchmark smoke run: one iteration of every benchmark, so a benchmark
 # that no longer compiles or panics fails CI without costing bench time.
 echo "== bench smoke =="
-go test -run '^$' -bench . -benchtime 1x ./...
+go test -timeout 10m -run '^$' -bench . -benchtime 1x ./...
 
 # Race smoke of the parallel hot paths at -cpu 1,2: the worker-pooled
 # state-space generation, the Jacobi solver pool (solo and batched), the
