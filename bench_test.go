@@ -6,9 +6,11 @@ package repro
 // the cmd/ tools run the full sweeps.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
+	"repro/internal/aemilia"
 	"repro/internal/bisim"
 	"repro/internal/core"
 	"repro/internal/ctmc"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lts"
 	"repro/internal/models"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
 
@@ -656,4 +659,89 @@ func BenchmarkSweepReuseRebind(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Session/handle pipeline: cold vs staged-warm vs store-hit ---
+//
+// The same Phase2 question asked three ways through the session layer.
+// Cold runs a fresh ephemeral session per op: build, elaborate, generate,
+// solve — the full pipeline, what a one-shot CLI invocation pays. Warm
+// re-opens a handle on an already-staged Manager session per op: the spec
+// is re-hashed and interned onto the existing state, so the op costs one
+// content hash plus a report clone — what the second experiment touching
+// the same model pays. CacheHit starts from a cold session state but a
+// populated ResultCache: the op is one content hash plus a store lookup
+// and clone — what a re-run with a persistent store would pay. All three
+// return deep-equal reports (pinned by the pipeline tests), so the ns/op
+// ratios in results/BENCH_pipeline.json are pure reuse savings.
+
+func pipelineRPCSpec() pipeline.Spec {
+	p := models.DefaultRPCParams()
+	return pipeline.Spec{
+		Key:      fmt.Sprintf("rpc:%#v", p),
+		Build:    func() (*aemilia.ArchiType, error) { return models.BuildRPCRevised(p) },
+		Measures: models.RPCMeasures(p),
+	}
+}
+
+func pipelineStreamingSpec() pipeline.Spec {
+	p := models.DefaultStreamingParams()
+	return pipeline.Spec{
+		Key:      fmt.Sprintf("streaming:%#v", p),
+		Build:    func() (*aemilia.ArchiType, error) { return models.BuildStreaming(p) },
+		Measures: models.StreamingMeasures(p),
+	}
+}
+
+func benchPipelineCold(b *testing.B, spec pipeline.Spec) {
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.NewSession(spec, pipeline.Config{}).Phase2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPipelineWarm(b *testing.B, spec pipeline.Spec) {
+	mgr := pipeline.NewManager()
+	s, err := mgr.Open(spec, pipeline.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Phase2(); err != nil { // stage everything outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := mgr.Open(spec, pipeline.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Phase2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPipelineCacheHit(b *testing.B, spec pipeline.Spec) {
+	store := pipeline.NewMemoryStore()
+	if _, err := pipeline.NewSession(spec, pipeline.Config{Store: store}).Phase2(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A cold session state per op: only the store can answer.
+		if _, err := pipeline.NewSession(spec, pipeline.Config{Store: store}).Phase2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineRPCCold(b *testing.B)     { benchPipelineCold(b, pipelineRPCSpec()) }
+func BenchmarkPipelineRPCWarm(b *testing.B)     { benchPipelineWarm(b, pipelineRPCSpec()) }
+func BenchmarkPipelineRPCCacheHit(b *testing.B) { benchPipelineCacheHit(b, pipelineRPCSpec()) }
+
+func BenchmarkPipelineStreamingCold(b *testing.B) { benchPipelineCold(b, pipelineStreamingSpec()) }
+func BenchmarkPipelineStreamingWarm(b *testing.B) { benchPipelineWarm(b, pipelineStreamingSpec()) }
+func BenchmarkPipelineStreamingCacheHit(b *testing.B) {
+	benchPipelineCacheHit(b, pipelineStreamingSpec())
 }

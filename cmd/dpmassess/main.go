@@ -6,7 +6,8 @@
 //	dpmassess lts      [-dot out.dot] [-max N] [-workers N] model.aem
 //	dpmassess check    -high INST -low INST [-high-labels l1,l2] [-workers N] model.aem
 //	dpmassess solve    -measures spec.msr [-sweep auto|gauss-seidel|jacobi]
-//	                   [-checkpoint file.ckpt] [-resume] [-workers N] model.aem
+//	                   [-lanes K] [-checkpoint file.ckpt] [-resume]
+//	                   [-workers N] model.aem
 //	dpmassess sim      -measures spec.msr [-runlength T] [-warmup T]
 //	                   [-reps N] [-seed S] [-workers N] model.aem
 //	dpmassess equiv    [-relation strong|weak|markovian] [-workers N] a.aem b.aem
@@ -53,6 +54,7 @@ import (
 	"repro/internal/lts"
 	"repro/internal/measure"
 	"repro/internal/noninterference"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -493,6 +495,10 @@ func runSolve(args []string) error {
 	measuresPath := fs.String("measures", "", "measure definition file (companion language)")
 	sweepName := fs.String("sweep", "auto",
 		"steady-state sweep mode: auto, gauss-seidel, or jacobi")
+	lanes := fs.Int("lanes", 0,
+		"sweep points solved per batched steady-state call on checkpointed solves:\n"+
+			"0 auto-selects, 1 forces the per-point solver (results are identical at\n"+
+			"any value; matches the study tools' -lanes flag)")
 	ckptPath := fs.String("checkpoint", "",
 		"checkpoint file: the solve periodically saves its progress there\n"+
 			"(requires a model with rate parameters; empty = disabled)")
@@ -541,37 +547,38 @@ func runSolve(args []string) error {
 	if err != nil {
 		return err
 	}
-	genOpts := lts.GenerateOptions{GenWorkers: *workers, Ctx: ctx}
-	solveOpts := ctmc.SolveOptions{Sweep: sweep, Workers: *workers, Ctx: ctx}
+	// One session stages the whole solve: elaborated model, state space,
+	// chain, and solution are each built exactly once, shared by whichever
+	// path (plain or checkpointed) consumes them.
+	s := pipeline.NewSession(pipeline.Spec{
+		Model:    m,
+		Measures: ms,
+		Gen:      lts.GenerateOptions{GenWorkers: *workers, Ctx: ctx},
+		Solve:    ctmc.SolveOptions{Sweep: sweep, Workers: *workers, Ctx: ctx},
+	}, pipeline.Config{Workers: *workers, LaneWidth: *lanes, Ctx: ctx})
 	var rep *core.Phase2Report
 	if *ckptPath != "" {
 		// Checkpointed solves go through the sweep driver: a one-point
 		// sweep at the model's own rates, saved to (and resumed from) the
 		// checkpoint file. For a parametric model the rates are read from
-		// a throwaway generation of the state space, which the sweep then
-		// regenerates — the split keeps the resumable path identical to
-		// the multi-point one; a slot-free model solves as one empty point.
+		// the session's staged state space — the same generation the sweep
+		// reuses; a slot-free model solves as one empty point.
 		point := []float64{}
 		if m.NumRateSlots() > 0 {
-			l, err := lts.Generate(m, genOpts)
+			l, err := s.LTS()
 			if err != nil {
 				return err
 			}
 			point = l.SlotDefaults()
 		}
-		reports, err := core.Phase2Sweep(m, ms, [][]float64{point}, core.SweepOptions{
-			Gen:        genOpts,
-			Solve:      solveOpts,
-			Workers:    *workers,
-			Ctx:        ctx,
-			Checkpoint: &core.CheckpointOptions{Path: *ckptPath, Every: 1, Resume: *resume},
-		})
+		reports, err := s.SweepCheckpointed([][]float64{point},
+			&pipeline.CheckpointOptions{Path: *ckptPath, Every: 1, Resume: *resume})
 		if err != nil {
 			return err
 		}
 		rep = reports[0]
 	} else {
-		rep, err = core.Phase2ModelSolve(m, ms, genOpts, solveOpts)
+		rep, err = s.Phase2()
 		if err != nil {
 			return err
 		}

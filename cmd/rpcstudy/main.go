@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -54,18 +55,22 @@ func run(args []string) error {
 		return err
 	}
 
-	experiments.DefaultWorkers = *workers
-	experiments.DefaultLaneWidth = *lanes
+	cfg := pipeline.Config{
+		Workers:   *workers,
+		LaneWidth: *lanes,
+		Store:     pipeline.NewMemoryStore(),
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
-		experiments.DefaultContext = ctx
+		cfg.Ctx = ctx
 	}
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint DIR")
 	}
-	experiments.DefaultCheckpointDir = *ckptDir
-	experiments.DefaultCheckpointResume = *resume
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointResume = *resume
+	study := experiments.NewRunner(cfg)
 	settings := core.SimSettings{Workers: *workers}
 	if *quick {
 		settings = core.SimSettings{RunLength: 4000, Replications: 8, Workers: *workers}
@@ -79,7 +84,7 @@ func run(args []string) error {
 
 	if want("sect3") {
 		fmt.Println("== Sect. 3.1: noninterference ==")
-		simplified, err := experiments.RPCNoninterferenceSimplified()
+		simplified, err := study.RPCNoninterferenceSimplified()
 		if err != nil {
 			return err
 		}
@@ -88,7 +93,7 @@ func run(args []string) error {
 			fmt.Println("distinguishing formula:")
 			fmt.Println("  " + simplified.Formula)
 		}
-		revised, err := experiments.RPCNoninterferenceRevised()
+		revised, err := study.RPCNoninterferenceRevised()
 		if err != nil {
 			return err
 		}
@@ -97,7 +102,7 @@ func run(args []string) error {
 
 	if want("fig3markov") {
 		fmt.Println("== Fig. 3 (left): Markovian rpc comparison ==")
-		pts, err := experiments.Fig3Markov(nil)
+		pts, err := study.Fig3Markov(nil)
 		if err != nil {
 			return err
 		}
@@ -107,7 +112,7 @@ func run(args []string) error {
 
 	if want("fig3general") {
 		fmt.Println("== Fig. 3 (right): general rpc comparison (deterministic timings) ==")
-		pts, err := experiments.Fig3General(nil, settings)
+		pts, err := study.Fig3General(nil, settings)
 		if err != nil {
 			return err
 		}
@@ -117,7 +122,7 @@ func run(args []string) error {
 
 	if want("fig5") {
 		fmt.Println("== Fig. 5: validation of the general model (exponential durations) ==")
-		pts, err := experiments.Fig5Validation(nil, settings)
+		pts, err := study.Fig5Validation(nil, settings)
 		if err != nil {
 			return err
 		}
@@ -127,7 +132,7 @@ func run(args []string) error {
 
 	if want("policies") {
 		fmt.Println("== Extension: DPM policy ablation (Markovian, timeout/period 5 ms) ==")
-		pts, err := experiments.PolicyComparison(5)
+		pts, err := study.PolicyComparison(5)
 		if err != nil {
 			return err
 		}
@@ -137,7 +142,7 @@ func run(args []string) error {
 
 	if want("battery") {
 		fmt.Println("== Extension: battery lifetime (transient analysis, budget 5000) ==")
-		pts, err := experiments.BatteryLifetime(5000, 5, 20)
+		pts, err := study.BatteryLifetime(5000, 5, 20)
 		if err != nil {
 			return err
 		}
@@ -147,7 +152,7 @@ func run(args []string) error {
 
 	if want("fig7") {
 		fmt.Println("== Fig. 7: energy/waiting-time trade-off ==")
-		curves, err := experiments.Fig7Tradeoff(nil, settings)
+		curves, err := study.Fig7Tradeoff(nil, settings)
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -53,18 +54,22 @@ func run(args []string) error {
 		return err
 	}
 
-	experiments.DefaultWorkers = *workers
-	experiments.DefaultLaneWidth = *lanes
+	cfg := pipeline.Config{
+		Workers:   *workers,
+		LaneWidth: *lanes,
+		Store:     pipeline.NewMemoryStore(),
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
-		experiments.DefaultContext = ctx
+		cfg.Ctx = ctx
 	}
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint DIR")
 	}
-	experiments.DefaultCheckpointDir = *ckptDir
-	experiments.DefaultCheckpointResume = *resume
+	cfg.CheckpointDir = *ckptDir
+	cfg.CheckpointResume = *resume
+	study := experiments.NewRunner(cfg)
 	scale := experiments.Full
 	settings := core.SimSettings{Workers: *workers}
 	if *quick {
@@ -79,7 +84,7 @@ func run(args []string) error {
 
 	if want("sect3") {
 		fmt.Println("== Sect. 3.2: noninterference ==")
-		res, err := experiments.StreamingNoninterference(scale)
+		res, err := study.StreamingNoninterference(scale)
 		if err != nil {
 			return err
 		}
@@ -92,7 +97,7 @@ func run(args []string) error {
 
 	if want("fig4") {
 		fmt.Println("== Fig. 4: Markovian streaming comparison ==")
-		pts, err := experiments.Fig4Markov(nil, scale)
+		pts, err := study.Fig4Markov(nil, scale)
 		if err != nil {
 			return err
 		}
@@ -102,7 +107,7 @@ func run(args []string) error {
 
 	if want("fig6") {
 		fmt.Println("== Fig. 6: general streaming comparison (CBR video, deadlines) ==")
-		pts, err := experiments.Fig6General(nil, scale, settings)
+		pts, err := study.Fig6General(nil, scale, settings)
 		if err != nil {
 			return err
 		}
@@ -112,7 +117,7 @@ func run(args []string) error {
 
 	if want("transient") {
 		fmt.Println("== Extension: start-up transient (P[buffer empty](t), awake period 100 ms) ==")
-		pts, err := experiments.StreamingStartupTransient(nil, 100, scale)
+		pts, err := study.StreamingStartupTransient(nil, 100, scale)
 		if err != nil {
 			return err
 		}
@@ -122,7 +127,7 @@ func run(args []string) error {
 
 	if want("fig8") {
 		fmt.Println("== Fig. 8: energy/miss trade-off ==")
-		curves, err := experiments.Fig8Tradeoff(nil, scale, settings)
+		curves, err := study.Fig8Tradeoff(nil, scale, settings)
 		if err != nil {
 			return err
 		}

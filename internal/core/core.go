@@ -17,13 +17,17 @@
 //     Markovian one by simulating it with exponential durations
 //     (Validate), then simulated with the realistic durations and
 //     compared with and without the DPM (Phase3).
+//
+// The phase functions are thin adapters over internal/pipeline sessions:
+// each call opens an ephemeral Session on the given model and runs the
+// corresponding phase method, so this package, the experiment drivers,
+// and any long-lived service share one staged
+// elaborate→generate→build→solve implementation. The report types are
+// aliases of the pipeline's, so the two layers interoperate without
+// conversion.
 package core
 
 import (
-	"context"
-	"fmt"
-	"math"
-
 	"repro/internal/aemilia"
 	"repro/internal/ctmc"
 	"repro/internal/dist"
@@ -31,61 +35,48 @@ import (
 	"repro/internal/lts"
 	"repro/internal/measure"
 	"repro/internal/noninterference"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
-// Phase1Report is the outcome of the functional phase.
-type Phase1Report struct {
-	// Result is the noninterference verdict with its diagnostic formula.
-	Result *noninterference.Result
-	// States and Transitions size the generated state space.
-	States, Transitions int
-}
+// Report and settings types are aliases of the pipeline session layer's:
+// a *core.Phase2Report is a *pipeline.Phase2Report, so results flow
+// between the legacy entry points and the session API without copying.
+type (
+	// Phase1Report is the outcome of the functional phase.
+	Phase1Report = pipeline.Phase1Report
+	// Phase2Report is the outcome of the Markovian phase for one model.
+	Phase2Report = pipeline.Phase2Report
+	// Phase3Report is the outcome of the general (simulation) phase.
+	Phase3Report = pipeline.Phase3Report
+	// SimSettings tunes the simulation runs of the third phase.
+	SimSettings = pipeline.SimSettings
+	// MeasureValidation compares one measure across the Markovian
+	// solution and the exponential simulation.
+	MeasureValidation = pipeline.MeasureValidation
+	// ValidationReport is the outcome of the Sect. 5.1 cross-validation.
+	ValidationReport = pipeline.ValidationReport
+)
 
 // Phase1 generates the state space of the untimed model and checks that
 // the high actions do not interfere with the low-observable behaviour.
 func Phase1(arch *aemilia.ArchiType, spec noninterference.Spec, opts lts.GenerateOptions) (*Phase1Report, error) {
-	m, err := elab.Elaborate(arch)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 1: %w", err)
-	}
-	l, err := lts.Generate(m, opts)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 1: %w", err)
-	}
-	res, err := noninterference.Check(l, spec)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 1: %w", err)
-	}
-	return &Phase1Report{
-		Result:      res,
-		States:      l.NumStates,
-		Transitions: l.NumTransitions(),
-	}, nil
-}
-
-// Phase2Report is the outcome of the Markovian phase for one model.
-type Phase2Report struct {
-	// Values holds the exact steady-state value of every measure.
-	Values map[string]float64
-	// States, Tangible and Vanishing size the state space and the chain.
-	States, Tangible, Vanishing int
-	// Trace records the solver's escalation history for this point, when
-	// the sweep ran with ctmc.EscalateLadder and the base configuration
-	// did not converge; nil when the base attempt sufficed. An escalated
-	// result is therefore always flagged, never silent.
-	Trace *ctmc.SolveTrace
+	s := pipeline.NewSession(pipeline.Spec{
+		Build: func() (*aemilia.ArchiType, error) { return arch, nil },
+		Gen:   opts,
+	}, pipeline.Config{Ctx: opts.Ctx})
+	return s.Phase1(spec)
 }
 
 // Phase2 generates the rated model's state space, extracts and solves the
 // CTMC, and evaluates the measures exactly.
 func Phase2(arch *aemilia.ArchiType, measures []measure.Measure, opts lts.GenerateOptions) (*Phase2Report, error) {
-	m, err := elab.Elaborate(arch)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2: %w", err)
-	}
-	return Phase2Model(m, measures, opts)
+	s := pipeline.NewSession(pipeline.Spec{
+		Build:    func() (*aemilia.ArchiType, error) { return arch, nil },
+		Measures: measures,
+		Gen:      opts,
+	}, pipeline.Config{Ctx: opts.Ctx})
+	return s.Phase2()
 }
 
 // Phase2Model is Phase2 on an already-elaborated model — the entry point
@@ -99,124 +90,35 @@ func Phase2Model(m *elab.Model, measures []measure.Measure, opts lts.GenerateOpt
 // callers pick the steady-state sweep mode and worker count alongside the
 // generation workers carried by opts.GenWorkers.
 func Phase2ModelSolve(m *elab.Model, measures []measure.Measure, opts lts.GenerateOptions, solve ctmc.SolveOptions) (*Phase2Report, error) {
-	opts.Predicates = append(opts.Predicates, measure.StatePreds(measures)...)
-	l, err := lts.Generate(m, opts)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2: %w", err)
-	}
-	chain, err := ctmc.Build(l)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2: %w", err)
-	}
-	pi, err := chain.SteadyState(solve)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2: %w", err)
-	}
-	values, err := measure.EvalAll(measures, chain, pi)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2: %w", err)
-	}
-	return &Phase2Report{
-		Values:    values,
-		States:    l.NumStates,
-		Tangible:  chain.N,
-		Vanishing: chain.NumVanishing(),
-	}, nil
-}
-
-// Phase3Report is the outcome of the general (simulation) phase for one
-// model.
-type Phase3Report struct {
-	// Estimates holds the confidence interval of every measure.
-	Estimates map[string]stats.Interval
-	// Events counts fired transitions across replications.
-	Events int64
-	// Replications is the number of independent runs.
-	Replications int
-}
-
-// SimSettings tunes the simulation runs of the third phase.
-type SimSettings struct {
-	// RunLength is the measured horizon per replication.
-	RunLength float64
-	// Warmup is the discarded start-up time.
-	Warmup float64
-	// Replications is the number of runs (default 30, the paper's choice).
-	Replications int
-	// Seed seeds the master random stream.
-	Seed uint64
-	// ConfidenceLevel of the reported intervals (default 0.90).
-	ConfidenceLevel float64
-	// Workers bounds the concurrency of the experiment: the number of
-	// simulation replications in flight (sim.Config.Workers) and, for the
-	// sweep drivers in internal/experiments, the number of concurrent
-	// sweep points. 0 falls back to the experiments package default.
-	// Results are bit-identical at any worker count.
-	Workers int
-	// Ctx cancels the simulation (see sim.Config.Ctx); nil disables
-	// cancellation.
-	Ctx context.Context
+	s := pipeline.NewSession(pipeline.Spec{
+		Model:    m,
+		Measures: measures,
+		Gen:      opts,
+		Solve:    solve,
+	}, pipeline.Config{})
+	return s.Phase2()
 }
 
 // Phase3 simulates the model with the given duration overrides and
 // estimates the measures.
 func Phase3(arch *aemilia.ArchiType, dists map[sim.Activity]dist.Distribution,
 	measures []measure.Measure, settings SimSettings) (*Phase3Report, error) {
-	m, err := elab.Elaborate(arch)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 3: %w", err)
-	}
-	return Phase3Model(m, dists, measures, settings)
+	s := pipeline.NewSession(pipeline.Spec{
+		Build:    func() (*aemilia.ArchiType, error) { return arch, nil },
+		Measures: measures,
+	}, pipeline.Config{})
+	return s.Phase3(dists, settings)
 }
 
 // Phase3Model is Phase3 on an already-elaborated model — the entry point
 // for sweeps that reuse models from a BuildCache.
 func Phase3Model(m *elab.Model, dists map[sim.Activity]dist.Distribution,
 	measures []measure.Measure, settings SimSettings) (*Phase3Report, error) {
-	res, err := sim.Run(sim.Config{
-		Model:           m,
-		Distributions:   dists,
-		Measures:        measures,
-		RunLength:       settings.RunLength,
-		Warmup:          settings.Warmup,
-		Replications:    settings.Replications,
-		Seed:            settings.Seed,
-		ConfidenceLevel: settings.ConfidenceLevel,
-		Workers:         settings.Workers,
-		Ctx:             settings.Ctx,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 3: %w", err)
-	}
-	return &Phase3Report{
-		Estimates:    res.Estimates,
-		Events:       res.Events,
-		Replications: res.Replications,
-	}, nil
-}
-
-// MeasureValidation compares one measure across the Markovian solution and
-// the exponential simulation.
-type MeasureValidation struct {
-	// Name is the measure name.
-	Name string
-	// Exact is the CTMC value.
-	Exact float64
-	// Estimate is the simulation confidence interval.
-	Estimate stats.Interval
-	// WithinCI reports whether the exact value lies inside the interval.
-	WithinCI bool
-	// RelError is |mean-exact| / max(|exact|, 1e-12).
-	RelError float64
-}
-
-// ValidationReport is the outcome of the Sect. 5.1 cross-validation.
-type ValidationReport struct {
-	// PerMeasure lists the per-measure comparisons.
-	PerMeasure []MeasureValidation
-	// Consistent is true when every measure is within tolerance: inside
-	// its confidence interval or within the relative-error budget.
-	Consistent bool
+	s := pipeline.NewSession(pipeline.Spec{
+		Model:    m,
+		Measures: measures,
+	}, pipeline.Config{})
+	return s.Phase3(dists, settings)
 }
 
 // Validate cross-validates a general model against the Markovian one: the
@@ -224,25 +126,7 @@ type ValidationReport struct {
 // Markovian rates and passes both results here. relTolerance bounds the
 // accepted relative error when the exact value falls outside the
 // confidence interval (the paper accepts small discretization gaps).
+// ValidationReport.PerMeasure comes back sorted by measure name.
 func Validate(exact *Phase2Report, simulated *Phase3Report, relTolerance float64) *ValidationReport {
-	rep := &ValidationReport{Consistent: true}
-	for name, exactV := range exact.Values {
-		ci, ok := simulated.Estimates[name]
-		if !ok {
-			continue
-		}
-		relErr := math.Abs(ci.Mean-exactV) / math.Max(math.Abs(exactV), 1e-12)
-		mv := MeasureValidation{
-			Name:     name,
-			Exact:    exactV,
-			Estimate: ci,
-			WithinCI: ci.Contains(exactV),
-			RelError: relErr,
-		}
-		if !mv.WithinCI && relErr > relTolerance {
-			rep.Consistent = false
-		}
-		rep.PerMeasure = append(rep.PerMeasure, mv)
-	}
-	return rep
+	return pipeline.Validate(exact, simulated, relTolerance)
 }

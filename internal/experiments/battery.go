@@ -3,9 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/ctmc"
 	"repro/internal/lts"
-	"repro/internal/measure"
 	"repro/internal/models"
 )
 
@@ -29,12 +27,13 @@ type BatteryPoint struct {
 // BatteryLifetime computes, for every DPM policy, how long a battery with
 // the given energy budget powers the rpc server, by integrating the
 // transient energy rate of the CTMC (uniformization steps of dt). The
-// four policies are analysed concurrently (DefaultWorkers) and reported
+// four policies are analysed concurrently (Config.Workers) and reported
 // in taxonomy order. The sweep is over policies — a structural parameter
-// — so each point generates its own state space; the repeated
-// uniformization steps at constant dt reuse one cached Poisson weight
-// vector per chain (ctmc.TransientFrom).
-func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
+// — so each point stages its own state space (sessions add the measures'
+// state predicates automatically); the repeated uniformization steps at
+// constant dt reuse one cached Poisson weight vector per chain
+// (ctmc.TransientFrom).
+func (r *Runner) BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 	if budget <= 0 || dt <= 0 {
 		return nil, fmt.Errorf("experiments: budget and dt must be positive")
 	}
@@ -44,23 +43,17 @@ func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 		models.PolicyTimeout,
 		models.PolicyPredictive,
 	}
-	return RunPoints(policies, workersOr(0), func(pol models.Policy) (BatteryPoint, error) {
+	return RunPoints(policies, r.workersOr(0), func(pol models.Policy) (BatteryPoint, error) {
 		p := models.DefaultRPCParams()
 		p.Policy = pol
 		p.WithDPM = pol != models.PolicyNone
 		p.ShutdownTimeout = timeout
-		m, err := rpcModel(p)
+		s, err := r.rpcSession(p)
 		if err != nil {
 			return BatteryPoint{}, err
 		}
 		measures := models.RPCMeasures(p)
-		gen := genOpts()
-		gen.Predicates = measure.StatePreds(measures)
-		l, err := lts.Generate(m, gen)
-		if err != nil {
-			return BatteryPoint{}, err
-		}
-		chain, err := ctmc.Build(l)
+		chain, err := s.Chain()
 		if err != nil {
 			return BatteryPoint{}, err
 		}
@@ -103,7 +96,7 @@ func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
 			if step >= maxSteps {
 				return BatteryPoint{}, fmt.Errorf("experiments: battery integration exceeded %d steps", maxSteps)
 			}
-			next, err := chain.TransientFromCtx(DefaultContext, pi, dt, 1e-9)
+			next, err := chain.TransientFromCtx(r.cfg.Ctx, pi, dt, 1e-9)
 			if err != nil {
 				return BatteryPoint{}, err
 			}

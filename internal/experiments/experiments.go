@@ -11,10 +11,11 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/aemilia"
 	"repro/internal/lts"
 	"repro/internal/models"
 	"repro/internal/noninterference"
+	"repro/internal/pipeline"
 )
 
 // Scale selects how much work an experiment does: Quick keeps state
@@ -50,19 +51,19 @@ type Sect3Result struct {
 	States, Transitions int
 }
 
-// RPCNoninterferenceSimplified reproduces the failing check of Sect. 3.1,
-// including the paper's distinguishing formula.
-func RPCNoninterferenceSimplified() (*Sect3Result, error) {
-	a, err := models.BuildRPCSimplified()
+// phase1 opens the session for the named untimed model and runs the
+// functional phase against the noninterference spec.
+func (r *Runner) phase1(name string, spec pipeline.Spec, ni noninterference.Spec) (*Sect3Result, error) {
+	s, err := r.open(spec)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Phase1(a, rpcSpec(), genOpts())
+	rep, err := s.Phase1(ni)
 	if err != nil {
 		return nil, err
 	}
 	return &Sect3Result{
-		Name:        "rpc simplified",
+		Name:        name,
 		Transparent: rep.Result.Transparent,
 		Formula:     rep.Result.FormulaText,
 		States:      rep.States,
@@ -70,54 +71,44 @@ func RPCNoninterferenceSimplified() (*Sect3Result, error) {
 	}, nil
 }
 
+// RPCNoninterferenceSimplified reproduces the failing check of Sect. 3.1,
+// including the paper's distinguishing formula.
+func (r *Runner) RPCNoninterferenceSimplified() (*Sect3Result, error) {
+	return r.phase1("rpc simplified", pipeline.Spec{
+		Key:   "rpc-simplified:functional",
+		Build: models.BuildRPCSimplified,
+		Gen:   r.genOpts(),
+	}, rpcSpec())
+}
+
 // RPCNoninterferenceRevised reproduces the passing check of Sect. 3.1.
-func RPCNoninterferenceRevised() (*Sect3Result, error) {
+func (r *Runner) RPCNoninterferenceRevised() (*Sect3Result, error) {
 	p := models.DefaultRPCParams()
 	p.Mode = models.Functional
-	a, err := models.BuildRPCRevised(p)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := core.Phase1(a, rpcSpec(), genOpts())
-	if err != nil {
-		return nil, err
-	}
-	return &Sect3Result{
-		Name:        "rpc revised",
-		Transparent: rep.Result.Transparent,
-		Formula:     rep.Result.FormulaText,
-		States:      rep.States,
-		Transitions: rep.Transitions,
-	}, nil
+	return r.phase1("rpc revised", pipeline.Spec{
+		Key:   fmt.Sprintf("rpc:%#v", p),
+		Build: func() (*aemilia.ArchiType, error) { return models.BuildRPCRevised(p) },
+		Gen:   r.genOpts(),
+	}, rpcSpec())
 }
 
 // StreamingNoninterference reproduces the passing check of Sect. 3.2.
 // Quick scale shrinks the buffers to keep the weak-bisimulation check
 // fast; Full uses the paper's capacity of 10.
-func StreamingNoninterference(scale Scale) (*Sect3Result, error) {
+func (r *Runner) StreamingNoninterference(scale Scale) (*Sect3Result, error) {
 	p := models.DefaultStreamingParams()
 	p.Mode = models.Functional
 	if scale == Quick {
 		p.APCapacity, p.ClientCapacity = 2, 2
 	}
-	a, err := models.BuildStreaming(p)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := core.Phase1(a, noninterference.Spec{
+	return r.phase1("streaming", pipeline.Spec{
+		Key:   fmt.Sprintf("streaming:%#v", p),
+		Build: func() (*aemilia.ArchiType, error) { return models.BuildStreaming(p) },
+		Gen:   r.genOpts(),
+	}, noninterference.Spec{
 		High: lts.LabelMatcherByNames(models.StreamingHighLabels()...),
 		Low:  lts.LabelMatcherByInstance("C"),
-	}, genOpts())
-	if err != nil {
-		return nil, err
-	}
-	return &Sect3Result{
-		Name:        "streaming",
-		Transparent: rep.Result.Transparent,
-		Formula:     rep.Result.FormulaText,
-		States:      rep.States,
-		Transitions: rep.Transitions,
-	}, nil
+	})
 }
 
 // FormatTable renders rows of columns as an aligned ASCII table.

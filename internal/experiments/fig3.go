@@ -45,10 +45,10 @@ func DefaultRPCTimeouts() []float64 {
 // shutdown rate (slot models.RPCTimeoutSlot gets 1/T — the same value a
 // fresh build at that timeout would use) before a warm-started solve.
 // Reports come back in timeout order.
-func rpcTimeoutSweep(timeouts []float64) ([]*core.Phase2Report, error) {
+func (r *Runner) rpcTimeoutSweep(timeouts []float64) ([]*core.Phase2Report, error) {
 	p := models.DefaultRPCParams()
 	p.ParametricTimeout = true
-	m, err := rpcModel(p)
+	s, err := r.rpcSession(p)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +56,7 @@ func rpcTimeoutSweep(timeouts []float64) ([]*core.Phase2Report, error) {
 	for i, T := range timeouts {
 		points[i] = []float64{1 / T}
 	}
-	return core.Phase2Sweep(m, models.RPCMeasures(p), points, sweepOpts("fig3-rpc-timeout"))
+	return s.SweepCheckpointed(points, r.checkpointOpts("fig3-rpc-timeout"))
 }
 
 // Fig3Markov reproduces the left-hand side of paper Fig. 3: the Markovian
@@ -64,20 +64,20 @@ func rpcTimeoutSweep(timeouts []float64) ([]*core.Phase2Report, error) {
 // single generated state space and built chain (rpcTimeoutSweep);
 // non-positive timeouts turn the shutdown into an immediate action — a
 // structurally different model — and fall back to a per-point build.
-// Points are solved concurrently (DefaultWorkers) and reported in timeout
-// order.
-func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
+// Points are solved concurrently (Config.Workers) and reported in
+// timeout order.
+func (r *Runner) Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 	if timeouts == nil {
 		timeouts = DefaultRPCTimeouts()
 	}
 	// The no-DPM system does not depend on the timeout: solve it once.
 	p0 := models.DefaultRPCParams()
 	p0.WithDPM = false
-	m0, err := rpcModel(p0)
+	s0, err := r.rpcSession(p0)
 	if err != nil {
 		return nil, err
 	}
-	rep0, err := core.Phase2ModelSolve(m0, models.RPCMeasures(p0), genOpts(), solveOpts())
+	rep0, err := s0.Phase2()
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +97,7 @@ func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 		}
 	}
 	if len(swept) > 0 {
-		reps, err := rpcTimeoutSweep(swept)
+		reps, err := r.rpcTimeoutSweep(swept)
 		if err != nil {
 			return nil, err
 		}
@@ -106,14 +106,14 @@ func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 		}
 	}
 	if len(fallback) > 0 {
-		metrics, err := RunPoints(fallback, workersOr(0), func(i int) (RPCMetrics, error) {
+		metrics, err := RunPoints(fallback, r.workersOr(0), func(i int) (RPCMetrics, error) {
 			p := models.DefaultRPCParams()
 			p.ShutdownTimeout = timeouts[i]
-			m, err := rpcModel(p)
+			s, err := r.rpcSession(p)
 			if err != nil {
 				return RPCMetrics{}, err
 			}
-			rep, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
+			rep, err := s.Phase2()
 			if err != nil {
 				return RPCMetrics{}, err
 			}
@@ -132,21 +132,21 @@ func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
 // Fig3General reproduces the right-hand side of paper Fig. 3: the general
 // rpc model (deterministic timings, Gaussian channel) simulated across
 // deterministic shutdown timeouts. Sweep points and the replications
-// within each run concurrently (settings.Workers, or DefaultWorkers);
+// within each run concurrently (settings.Workers, or Config.Workers);
 // results are bit-identical at any worker count.
-func Fig3General(timeouts []float64, settings core.SimSettings) ([]RPCPoint, error) {
+func (r *Runner) Fig3General(timeouts []float64, settings core.SimSettings) ([]RPCPoint, error) {
 	if timeouts == nil {
 		timeouts = DefaultRPCTimeouts()
 	}
-	applyRPCSimDefaults(&settings)
+	r.applyRPCSimDefaults(&settings)
 
 	p0 := models.DefaultRPCParams()
 	p0.WithDPM = false
-	m0, err := rpcModel(p0)
+	s0, err := r.rpcSession(p0)
 	if err != nil {
 		return nil, err
 	}
-	rep0, err := core.Phase3Model(m0, models.RPCGeneralDistributions(p0), models.RPCMeasures(p0), settings)
+	rep0, err := s0.Phase3(models.RPCGeneralDistributions(p0), settings)
 	if err != nil {
 		return nil, err
 	}
@@ -155,11 +155,11 @@ func Fig3General(timeouts []float64, settings core.SimSettings) ([]RPCPoint, err
 	return RunPoints(timeouts, settings.Workers, func(T float64) (RPCPoint, error) {
 		p := models.DefaultRPCParams()
 		p.ShutdownTimeout = T
-		m, err := rpcModel(p)
+		s, err := r.rpcSession(p)
 		if err != nil {
 			return RPCPoint{}, err
 		}
-		rep, err := core.Phase3Model(m, models.RPCGeneralDistributions(p), models.RPCMeasures(p), settings)
+		rep, err := s.Phase3(models.RPCGeneralDistributions(p), settings)
 		if err != nil {
 			return RPCPoint{}, err
 		}
@@ -182,7 +182,7 @@ func rpcMetricsFromEstimates(rep *core.Phase3Report) RPCMetrics {
 
 // applyRPCSimDefaults fills zero simulation settings with values sized for
 // the rpc model (times in ms).
-func applyRPCSimDefaults(s *core.SimSettings) {
+func (r *Runner) applyRPCSimDefaults(s *core.SimSettings) {
 	if s.RunLength == 0 {
 		s.RunLength = 20000
 	}
@@ -196,10 +196,10 @@ func applyRPCSimDefaults(s *core.SimSettings) {
 		s.Seed = 20040628 // DSN 2004
 	}
 	if s.Workers == 0 {
-		s.Workers = workersOr(0)
+		s.Workers = r.workersOr(0)
 	}
 	if s.Ctx == nil {
-		s.Ctx = DefaultContext
+		s.Ctx = r.cfg.Ctx
 	}
 }
 

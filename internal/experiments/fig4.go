@@ -65,10 +65,10 @@ func streamingParams(scale Scale) models.StreamingParams {
 // positive awake periods as one rate-parametric sweep: generated and
 // built once, each period rebinds the PSP wakeup rate (slot
 // models.StreamingPeriodSlot gets 1/P) before a warm-started solve.
-func streamingPeriodSweep(periods []float64, scale Scale) ([]*core.Phase2Report, error) {
+func (r *Runner) streamingPeriodSweep(periods []float64, scale Scale) ([]*core.Phase2Report, error) {
 	p := streamingParams(scale)
 	p.ParametricPeriod = true
-	m, err := streamingModel(p)
+	s, err := r.streamingSession(p)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +76,7 @@ func streamingPeriodSweep(periods []float64, scale Scale) ([]*core.Phase2Report,
 	for i, P := range periods {
 		points[i] = []float64{1 / P}
 	}
-	return core.Phase2Sweep(m, models.StreamingMeasures(p), points, sweepOpts(fmt.Sprintf("fig4-streaming-scale%d", scale)))
+	return s.SweepCheckpointed(points, r.checkpointOpts(fmt.Sprintf("fig4-streaming-scale%d", scale)))
 }
 
 // Fig4Markov reproduces paper Fig. 4: the Markovian streaming comparison
@@ -84,18 +84,18 @@ func streamingPeriodSweep(periods []float64, scale Scale) ([]*core.Phase2Report,
 // state space and built chain (streamingPeriodSweep); a non-positive
 // period makes the wakeup immediate — a structurally different model —
 // and falls back to a per-point build. Points are solved concurrently
-// (DefaultWorkers) and reported in period order.
-func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
+// (Config.Workers) and reported in period order.
+func (r *Runner) Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
 	if periods == nil {
 		periods = DefaultAwakePeriods()
 	}
 	p0 := streamingParams(scale)
 	p0.WithDPM = false
-	m0, err := streamingModel(p0)
+	s0, err := r.streamingSession(p0)
 	if err != nil {
 		return nil, err
 	}
-	rep0, err := core.Phase2ModelSolve(m0, models.StreamingMeasures(p0), genOpts(), solveOpts())
+	rep0, err := s0.Phase2()
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
 		}
 	}
 	if len(swept) > 0 {
-		reps, err := streamingPeriodSweep(swept, scale)
+		reps, err := r.streamingPeriodSweep(swept, scale)
 		if err != nil {
 			return nil, err
 		}
@@ -124,14 +124,14 @@ func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
 		}
 	}
 	if len(fallback) > 0 {
-		metrics, err := RunPoints(fallback, workersOr(0), func(i int) (StreamingMetrics, error) {
+		metrics, err := RunPoints(fallback, r.workersOr(0), func(i int) (StreamingMetrics, error) {
 			p := streamingParams(scale)
 			p.AwakePeriod = periods[i]
-			m, err := streamingModel(p)
+			s, err := r.streamingSession(p)
 			if err != nil {
 				return StreamingMetrics{}, err
 			}
-			rep, err := core.Phase2ModelSolve(m, models.StreamingMeasures(p), genOpts(), solveOpts())
+			rep, err := s.Phase2()
 			if err != nil {
 				return StreamingMetrics{}, err
 			}

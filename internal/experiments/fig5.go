@@ -30,26 +30,25 @@ type ValidationPoint struct {
 // simulated with exponential distributions matching the Markovian rates
 // (30 runs, 90% confidence intervals in the paper's setting) and the
 // server energy consumption is compared with the analytic solution.
-// Each sweep point elaborates its model once and shares it between the
-// analytic solution and the simulation; points run concurrently
-// (settings.Workers, or DefaultWorkers) in timeout order.
-func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]ValidationPoint, error) {
+// Each sweep point stages its model in one session and shares it between
+// the analytic solution and the simulation; points run concurrently
+// (settings.Workers, or Config.Workers) in timeout order.
+func (r *Runner) Fig5Validation(timeouts []float64, settings core.SimSettings) ([]ValidationPoint, error) {
 	if timeouts == nil {
 		timeouts = []float64{1, 5, 10, 15, 20, 25}
 	}
-	applyRPCSimDefaults(&settings)
+	r.applyRPCSimDefaults(&settings)
 
 	solve := func(p models.RPCParams) (float64, stats.Interval, error) {
-		m, err := rpcModel(p)
+		s, err := r.rpcSession(p)
 		if err != nil {
 			return 0, stats.Interval{}, err
 		}
-		exact, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
+		exact, err := s.Phase2()
 		if err != nil {
 			return 0, stats.Interval{}, err
 		}
-		simRep, err := core.Phase3Model(m, models.RPCExponentialDistributions(p),
-			models.RPCMeasures(p), settings)
+		simRep, err := s.Phase3(models.RPCExponentialDistributions(p), settings)
 		if err != nil {
 			return 0, stats.Interval{}, err
 		}
@@ -78,7 +77,7 @@ func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]Validation
 		}
 	}
 	if len(swept) > 0 {
-		reps, err := rpcTimeoutSweep(swept)
+		reps, err := r.rpcTimeoutSweep(swept)
 		if err != nil {
 			return nil, err
 		}
@@ -96,20 +95,19 @@ func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]Validation
 		T := timeouts[i]
 		p := models.DefaultRPCParams()
 		p.ShutdownTimeout = T
-		m, err := rpcModel(p)
+		s, err := r.rpcSession(p)
 		if err != nil {
 			return ValidationPoint{}, err
 		}
 		exact1 := exactOf[i]
 		if !exactDone[i] {
-			rep, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
+			rep, err := s.Phase2()
 			if err != nil {
 				return ValidationPoint{}, err
 			}
 			exact1 = rep.Values["energy"]
 		}
-		simRep, err := core.Phase3Model(m, models.RPCExponentialDistributions(p),
-			models.RPCMeasures(p), settings)
+		simRep, err := s.Phase3(models.RPCExponentialDistributions(p), settings)
 		if err != nil {
 			return ValidationPoint{}, err
 		}

@@ -7,7 +7,7 @@ import (
 
 // applyStreamingSimDefaults fills zero simulation settings with values
 // sized for the streaming model (times in ms).
-func applyStreamingSimDefaults(s *core.SimSettings) {
+func (r *Runner) applyStreamingSimDefaults(s *core.SimSettings) {
 	if s.RunLength == 0 {
 		s.RunLength = 400000
 	}
@@ -21,22 +21,22 @@ func applyStreamingSimDefaults(s *core.SimSettings) {
 		s.Seed = 20040628
 	}
 	if s.Workers == 0 {
-		s.Workers = workersOr(0)
+		s.Workers = r.workersOr(0)
 	}
 	if s.Ctx == nil {
-		s.Ctx = DefaultContext
+		s.Ctx = r.cfg.Ctx
 	}
 }
 
 // Fig6General reproduces paper Fig. 6: the general streaming model
 // (constant bit-rate video, deterministic PSP periods, Gaussian channel)
 // simulated across awake periods. Sweep points and the replications
-// within each run concurrently (settings.Workers, or DefaultWorkers).
-func Fig6General(periods []float64, scale Scale, settings core.SimSettings) ([]StreamingPoint, error) {
+// within each run concurrently (settings.Workers, or Config.Workers).
+func (r *Runner) Fig6General(periods []float64, scale Scale, settings core.SimSettings) ([]StreamingPoint, error) {
 	if periods == nil {
 		periods = DefaultAwakePeriods()
 	}
-	applyStreamingSimDefaults(&settings)
+	r.applyStreamingSimDefaults(&settings)
 
 	// The general model implements the real-time frame-deadline
 	// semantics (a frame more than DeadlineSlack render periods late is
@@ -50,12 +50,11 @@ func Fig6General(periods []float64, scale Scale, settings core.SimSettings) ([]S
 	}
 
 	run := func(p models.StreamingParams) (StreamingMetrics, error) {
-		m, err := streamingModel(p)
+		s, err := r.streamingSession(p)
 		if err != nil {
 			return StreamingMetrics{}, err
 		}
-		rep, err := core.Phase3Model(m, models.StreamingGeneralDistributions(p),
-			models.StreamingMeasures(p), settings)
+		rep, err := s.Phase3(models.StreamingGeneralDistributions(p), settings)
 		if err != nil {
 			return StreamingMetrics{}, err
 		}

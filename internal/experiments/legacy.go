@@ -1,0 +1,192 @@
+// Legacy package-level entry points and their default configuration.
+//
+// Every experiment lives on Runner, which takes an injected
+// pipeline.Config. The package-level functions below are kept for
+// callers that predate the session layer: each call snapshots the
+// deprecated Default* variables into a Config and runs a fresh Runner,
+// so out-of-tree code keeps working for one release with the exact
+// pre-refactor behavior (including build-per-call model staging).
+package experiments
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/pipeline"
+)
+
+// DefaultWorkers is the worker count the legacy package-level entry
+// points snapshot into their Runner's pipeline.Config: it bounds sweep
+// concurrency, the per-point state-space generation pool, and the
+// steady-state solver pool. Results are bit-identical at any value.
+//
+// Deprecated: construct a Runner with pipeline.Config{Workers: n}
+// instead. This variable only affects the package-level functions, which
+// read it at call time.
+var DefaultWorkers = runtime.NumCPU()
+
+// DefaultSolve is the steady-state solver configuration the legacy
+// entry points snapshot into pipeline.Config.Solve. The golden tests
+// force a sweep mode through it; the zero value lets the solver
+// auto-select (Gauss-Seidel below the Jacobi threshold, parallel Jacobi
+// above).
+//
+// Deprecated: construct a Runner with pipeline.Config{Solve: opts}
+// instead.
+var DefaultSolve ctmc.SolveOptions
+
+// DefaultContext cancels every experiment driven through the legacy
+// entry points: state-space generation, steady-state solves, sweeps,
+// transient integrations, and simulations all poll it. Nil (the
+// default) disables cancellation; cancellation surfaces as a
+// *fault.CanceledError naming the phase and point that observed it.
+//
+// Deprecated: construct a Runner with pipeline.Config{Ctx: ctx}
+// instead.
+var DefaultContext context.Context
+
+// DefaultCheckpointDir and DefaultCheckpointResume are the checkpoint
+// policy the legacy entry points snapshot into pipeline.Config: when the
+// directory is non-empty every Markovian sweep writes its checkpoint to
+// <dir>/<name>.ckpt and, when resume is set, replays completed points
+// from an existing file — with reports bit-identical to an uninterrupted
+// run.
+//
+// Deprecated: construct a Runner with pipeline.Config{CheckpointDir,
+// CheckpointResume} instead.
+var (
+	DefaultCheckpointDir    string
+	DefaultCheckpointResume bool
+)
+
+// DefaultLaneWidth is the sweep-batching lane width the legacy entry
+// points snapshot into pipeline.Config: 0 lets the sweep auto-select
+// (pipeline.DefaultLaneWidth points per batched solve), 1 forces the
+// per-point solver path, any other value is used as given. Results are
+// bit-identical at any value.
+//
+// Deprecated: construct a Runner with pipeline.Config{LaneWidth: n}
+// instead.
+var DefaultLaneWidth = 0
+
+// defaultConfig snapshots the deprecated package globals into the
+// injected-config form. Read at call time so tests and tools that still
+// mutate the globals see their values honored.
+func defaultConfig() pipeline.Config {
+	return pipeline.Config{
+		Workers:          DefaultWorkers,
+		LaneWidth:        DefaultLaneWidth,
+		Ctx:              DefaultContext,
+		Solve:            DefaultSolve,
+		CheckpointDir:    DefaultCheckpointDir,
+		CheckpointResume: DefaultCheckpointResume,
+	}
+}
+
+// defaultRunner is a fresh Runner over the snapshot of the deprecated
+// globals. Each legacy call gets its own Runner — and therefore its own
+// session manager — so the package-level API keeps its historical
+// build-per-call semantics (one state-space generation per distinct
+// model structure per call, none shared across calls).
+func defaultRunner() *Runner { return NewRunner(defaultConfig()) }
+
+// RPCNoninterferenceSimplified reproduces the failing check of
+// Sect. 3.1 with the package defaults.
+//
+// Deprecated: use Runner.RPCNoninterferenceSimplified.
+func RPCNoninterferenceSimplified() (*Sect3Result, error) {
+	return defaultRunner().RPCNoninterferenceSimplified()
+}
+
+// RPCNoninterferenceRevised reproduces the passing check of Sect. 3.1
+// with the package defaults.
+//
+// Deprecated: use Runner.RPCNoninterferenceRevised.
+func RPCNoninterferenceRevised() (*Sect3Result, error) {
+	return defaultRunner().RPCNoninterferenceRevised()
+}
+
+// StreamingNoninterference reproduces the passing check of Sect. 3.2
+// with the package defaults.
+//
+// Deprecated: use Runner.StreamingNoninterference.
+func StreamingNoninterference(scale Scale) (*Sect3Result, error) {
+	return defaultRunner().StreamingNoninterference(scale)
+}
+
+// Fig3Markov reproduces the left-hand side of paper Fig. 3 with the
+// package defaults.
+//
+// Deprecated: use Runner.Fig3Markov.
+func Fig3Markov(timeouts []float64) ([]RPCPoint, error) {
+	return defaultRunner().Fig3Markov(timeouts)
+}
+
+// Fig3General reproduces the right-hand side of paper Fig. 3 with the
+// package defaults.
+//
+// Deprecated: use Runner.Fig3General.
+func Fig3General(timeouts []float64, settings core.SimSettings) ([]RPCPoint, error) {
+	return defaultRunner().Fig3General(timeouts, settings)
+}
+
+// Fig4Markov reproduces paper Fig. 4 with the package defaults.
+//
+// Deprecated: use Runner.Fig4Markov.
+func Fig4Markov(periods []float64, scale Scale) ([]StreamingPoint, error) {
+	return defaultRunner().Fig4Markov(periods, scale)
+}
+
+// Fig5Validation reproduces paper Fig. 5 with the package defaults.
+//
+// Deprecated: use Runner.Fig5Validation.
+func Fig5Validation(timeouts []float64, settings core.SimSettings) ([]ValidationPoint, error) {
+	return defaultRunner().Fig5Validation(timeouts, settings)
+}
+
+// Fig6General reproduces paper Fig. 6 with the package defaults.
+//
+// Deprecated: use Runner.Fig6General.
+func Fig6General(periods []float64, scale Scale, settings core.SimSettings) ([]StreamingPoint, error) {
+	return defaultRunner().Fig6General(periods, scale, settings)
+}
+
+// Fig7Tradeoff reproduces paper Fig. 7 with the package defaults. Both
+// sub-studies share one Runner, so the rpc models are staged once.
+//
+// Deprecated: use Runner.Fig7Tradeoff.
+func Fig7Tradeoff(timeouts []float64, settings core.SimSettings) (*TradeoffCurves, error) {
+	return defaultRunner().Fig7Tradeoff(timeouts, settings)
+}
+
+// Fig8Tradeoff reproduces paper Fig. 8 with the package defaults.
+//
+// Deprecated: use Runner.Fig8Tradeoff.
+func Fig8Tradeoff(periods []float64, scale Scale, settings core.SimSettings) (*TradeoffCurves, error) {
+	return defaultRunner().Fig8Tradeoff(periods, scale, settings)
+}
+
+// PolicyComparison compares the DPM policies with the package defaults.
+//
+// Deprecated: use Runner.PolicyComparison.
+func PolicyComparison(timeout float64) ([]PolicyPoint, error) {
+	return defaultRunner().PolicyComparison(timeout)
+}
+
+// BatteryLifetime runs the battery-lifetime analysis with the package
+// defaults.
+//
+// Deprecated: use Runner.BatteryLifetime.
+func BatteryLifetime(budget, timeout, dt float64) ([]BatteryPoint, error) {
+	return defaultRunner().BatteryLifetime(budget, timeout, dt)
+}
+
+// StreamingStartupTransient runs the start-up transient analysis with
+// the package defaults.
+//
+// Deprecated: use Runner.StreamingStartupTransient.
+func StreamingStartupTransient(times []float64, awakePeriod float64, scale Scale) ([]TransientPoint, error) {
+	return defaultRunner().StreamingStartupTransient(times, awakePeriod, scale)
+}

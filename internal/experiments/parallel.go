@@ -1,123 +1,12 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
-	"path/filepath"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/aemilia"
-	"repro/internal/core"
-	"repro/internal/ctmc"
-	"repro/internal/elab"
 	"repro/internal/fault"
-	"repro/internal/lts"
-	"repro/internal/models"
 )
-
-// DefaultWorkers is the sweep concurrency used when a caller does not set
-// core.SimSettings.Workers (and by the Markovian sweeps, which carry no
-// settings). It also feeds the per-point state-space generation pool
-// (lts.GenerateOptions.GenWorkers) and the steady-state solver pool
-// (ctmc.SolveOptions.Workers). The cmd/ tools override it from their
-// -workers flag. Every sweep merges its results in point order, every
-// simulation assigns replication-indexed random streams, and generation
-// and solve merge in canonical order, so results are bit-identical at any
-// value.
-var DefaultWorkers = runtime.NumCPU()
-
-// DefaultSolve is the steady-state solver configuration used by the
-// Markovian sweeps. The golden tests force a sweep mode through it; the
-// zero value lets the solver auto-select (Gauss-Seidel below the Jacobi
-// threshold, parallel Jacobi above).
-var DefaultSolve ctmc.SolveOptions
-
-// DefaultContext cancels every experiment driven through the package
-// defaults: state-space generation, steady-state solves, sweeps,
-// transient integrations, and simulations all poll it. Nil (the default)
-// disables cancellation. The cmd/ study tools set it from their -timeout
-// flag; cancellation surfaces as a *fault.CanceledError naming the phase
-// and point that observed it.
-var DefaultContext context.Context
-
-// DefaultCheckpointDir, when non-empty, makes every Markovian sweep of
-// the package resumable: each sweep writes its checkpoint to
-// <dir>/<name>.ckpt (core.CheckpointOptions) and, when
-// DefaultCheckpointResume is set, replays completed points from an
-// existing file instead of re-solving them — with reports bit-identical
-// to an uninterrupted run. The cmd/ study tools set these from their
-// -checkpoint and -resume flags.
-var (
-	DefaultCheckpointDir    string
-	DefaultCheckpointResume bool
-)
-
-// DefaultLaneWidth is the sweep-batching lane width the Markovian sweeps
-// pass to core.Phase2Sweep: 0 lets the sweep auto-select
-// (core.DefaultLaneWidth points per batched solve), 1 forces the
-// per-point solver path, any other value is used as given. The cmd/ study
-// tools override it from their -lanes flag. Results are bit-identical at
-// any value.
-var DefaultLaneWidth = 0
-
-// genOpts is the generation configuration the sweeps hand to lts.Generate
-// and core.Phase2ModelSolve: the package worker default applied to the
-// frontier-expansion pool.
-func genOpts() lts.GenerateOptions {
-	return lts.GenerateOptions{GenWorkers: workersOr(0), Ctx: DefaultContext}
-}
-
-// solveOpts is the solver configuration the Markovian sweeps use: the
-// package sweep-mode default with the worker and cancellation defaults
-// applied.
-func solveOpts() ctmc.SolveOptions {
-	s := DefaultSolve
-	if s.Workers <= 0 {
-		s.Workers = workersOr(0)
-	}
-	if s.Ctx == nil {
-		s.Ctx = DefaultContext
-	}
-	return s
-}
-
-// sweepOpts is the rate-parametric sweep configuration the Markovian
-// sweeps hand to core.Phase2Sweep: the generation, solver, worker,
-// batching-lane-width, cancellation, and checkpoint defaults of the
-// package. name identifies the sweep's checkpoint file inside
-// DefaultCheckpointDir and must be unique per (figure, model structure)
-// pair — a resumed checkpoint is rejected unless its structural hash
-// matches, so distinct sweeps must not share a file.
-func sweepOpts(name string) core.SweepOptions {
-	opts := core.SweepOptions{
-		Gen:       genOpts(),
-		Solve:     solveOpts(),
-		Workers:   workersOr(0),
-		LaneWidth: DefaultLaneWidth,
-		Ctx:       DefaultContext,
-	}
-	if DefaultCheckpointDir != "" {
-		opts.Checkpoint = &core.CheckpointOptions{
-			Path:   filepath.Join(DefaultCheckpointDir, name+".ckpt"),
-			Resume: DefaultCheckpointResume,
-		}
-	}
-	return opts
-}
-
-// workersOr resolves an explicit worker count against the package
-// default.
-func workersOr(n int) int {
-	if n > 0 {
-		return n
-	}
-	if DefaultWorkers > 0 {
-		return DefaultWorkers
-	}
-	return 1
-}
 
 // RunPoints evaluates fn over every point on a bounded worker pool and
 // returns the results in point order. Points are claimed in index order
@@ -182,28 +71,4 @@ func RunPoints[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, e
 		}
 	}
 	return out, nil
-}
-
-// Model-build caches shared by all sweeps of the package: the rpc and
-// streaming models are keyed by their full parameter sets, so the no-DPM
-// baselines, the repeated Markovian/general pairs of a cross-validation
-// point, and any overlap between figures (e.g. Fig. 7 rerunning the
-// Fig. 3 sweeps) are parsed and elaborated once per process.
-var (
-	rpcCache       core.BuildCache[models.RPCParams]
-	streamingCache core.BuildCache[models.StreamingParams]
-)
-
-// rpcModel returns the cached elaborated rpc model for p.
-func rpcModel(p models.RPCParams) (*elab.Model, error) {
-	return rpcCache.Elaborated(p, func() (*aemilia.ArchiType, error) {
-		return models.BuildRPCRevised(p)
-	})
-}
-
-// streamingModel returns the cached elaborated streaming model for p.
-func streamingModel(p models.StreamingParams) (*elab.Model, error) {
-	return streamingCache.Elaborated(p, func() (*aemilia.ArchiType, error) {
-		return models.BuildStreaming(p)
-	})
 }

@@ -1,9 +1,6 @@
 package experiments
 
-import (
-	"repro/internal/core"
-	"repro/internal/models"
-)
+import "repro/internal/models"
 
 // PolicyPoint compares one DPM decision scheme on the Markovian rpc model
 // (an ablation the paper's Sect. 2.1 policy taxonomy motivates).
@@ -17,27 +14,27 @@ type PolicyPoint struct {
 // PolicyComparison solves the Markovian rpc model under every DPM policy
 // at the given shutdown timeout/period and returns the three Fig. 3
 // indices for each, with PolicyNone as the baseline. The policies are
-// solved concurrently (DefaultWorkers) and reported in taxonomy order.
+// solved concurrently (Config.Workers) and reported in taxonomy order.
 // The swept parameter here is the policy, which changes the DPM's
 // behaviour — the structure of the state space — so this driver keeps the
 // per-point generate+build path rather than the rate-parametric sweep.
-func PolicyComparison(timeout float64) ([]PolicyPoint, error) {
+func (r *Runner) PolicyComparison(timeout float64) ([]PolicyPoint, error) {
 	policies := []models.Policy{
 		models.PolicyNone,
 		models.PolicyTrivial,
 		models.PolicyTimeout,
 		models.PolicyPredictive,
 	}
-	return RunPoints(policies, workersOr(0), func(pol models.Policy) (PolicyPoint, error) {
+	return RunPoints(policies, r.workersOr(0), func(pol models.Policy) (PolicyPoint, error) {
 		p := models.DefaultRPCParams()
 		p.Policy = pol
 		p.WithDPM = pol != models.PolicyNone
 		p.ShutdownTimeout = timeout
-		m, err := rpcModel(p)
+		s, err := r.rpcSession(p)
 		if err != nil {
 			return PolicyPoint{}, err
 		}
-		rep, err := core.Phase2ModelSolve(m, models.RPCMeasures(p), genOpts(), solveOpts())
+		rep, err := s.Phase2()
 		if err != nil {
 			return PolicyPoint{}, err
 		}

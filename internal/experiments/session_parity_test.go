@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// TestSessionPathMatchesLegacyAcrossWorkersAndLanes is the bit-identity
+// contract of the session layer: a Runner with an injected Config (the
+// session path, result store enabled) must produce byte-for-byte the
+// results of the deprecated package-level path, on both study models, at
+// every workers × lanes combination.
+func TestSessionPathMatchesLegacyAcrossWorkersAndLanes(t *testing.T) {
+	timeouts := []float64{0.5, 5, 25}
+	periods := []float64{50, 400}
+
+	// Legacy path: package-level wrappers reading the deprecated globals,
+	// pinned to the deterministic baseline.
+	oldW, oldL := DefaultWorkers, DefaultLaneWidth
+	DefaultWorkers, DefaultLaneWidth = 1, 1
+	wantRPC, err := Fig3Markov(timeouts)
+	if err != nil {
+		t.Fatalf("legacy Fig3Markov: %v", err)
+	}
+	wantStreaming, err := Fig4Markov(periods, Quick)
+	if err != nil {
+		t.Fatalf("legacy Fig4Markov: %v", err)
+	}
+	DefaultWorkers, DefaultLaneWidth = oldW, oldL
+
+	for _, workers := range []int{1, 8} {
+		for _, lanes := range []int{1, 8} {
+			r := NewRunner(pipeline.Config{
+				Workers:   workers,
+				LaneWidth: lanes,
+				Store:     pipeline.NewMemoryStore(),
+			})
+			gotRPC, err := r.Fig3Markov(timeouts)
+			if err != nil {
+				t.Fatalf("workers=%d lanes=%d: Fig3Markov: %v", workers, lanes, err)
+			}
+			if !reflect.DeepEqual(gotRPC, wantRPC) {
+				t.Errorf("workers=%d lanes=%d: rpc session path diverged from legacy path:\n got %+v\nwant %+v",
+					workers, lanes, gotRPC, wantRPC)
+			}
+			gotStreaming, err := r.Fig4Markov(periods, Quick)
+			if err != nil {
+				t.Fatalf("workers=%d lanes=%d: Fig4Markov: %v", workers, lanes, err)
+			}
+			if !reflect.DeepEqual(gotStreaming, wantStreaming) {
+				t.Errorf("workers=%d lanes=%d: streaming session path diverged from legacy path:\n got %+v\nwant %+v",
+					workers, lanes, gotStreaming, wantStreaming)
+			}
+		}
+	}
+}

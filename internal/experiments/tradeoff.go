@@ -79,12 +79,12 @@ func StreamingTradeoffCurves(markov, general []StreamingPoint) *TradeoffCurves {
 // across shutdown timeouts. The Markovian sweep runs the
 // rate-parametric engine (one generation for all positive timeouts) and
 // each model family is solved exactly once for the whole grid.
-func Fig7Tradeoff(timeouts []float64, settings core.SimSettings) (*TradeoffCurves, error) {
-	markov, err := Fig3Markov(timeouts)
+func (r *Runner) Fig7Tradeoff(timeouts []float64, settings core.SimSettings) (*TradeoffCurves, error) {
+	markov, err := r.Fig3Markov(timeouts)
 	if err != nil {
 		return nil, err
 	}
-	general, err := Fig3General(timeouts, settings)
+	general, err := r.Fig3General(timeouts, settings)
 	if err != nil {
 		return nil, err
 	}
@@ -94,12 +94,12 @@ func Fig7Tradeoff(timeouts []float64, settings core.SimSettings) (*TradeoffCurve
 // Fig8Tradeoff reproduces paper Fig. 8: energy per frame vs miss rate for
 // the streaming system, on both the Markovian and the general model,
 // across awake periods.
-func Fig8Tradeoff(periods []float64, scale Scale, settings core.SimSettings) (*TradeoffCurves, error) {
-	markov, err := Fig4Markov(periods, scale)
+func (r *Runner) Fig8Tradeoff(periods []float64, scale Scale, settings core.SimSettings) (*TradeoffCurves, error) {
+	markov, err := r.Fig4Markov(periods, scale)
 	if err != nil {
 		return nil, err
 	}
-	general, err := Fig6General(periods, scale, settings)
+	general, err := r.Fig6General(periods, scale, settings)
 	if err != nil {
 		return nil, err
 	}

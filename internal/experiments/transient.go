@@ -3,10 +3,11 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/aemilia"
 	"repro/internal/ctmc"
-	"repro/internal/elab"
 	"repro/internal/lts"
 	"repro/internal/models"
+	"repro/internal/pipeline"
 )
 
 // TransientPoint is one time sample of the streaming start-up analysis:
@@ -24,7 +25,7 @@ type TransientPoint struct {
 // client-side buffer fills during the initial delay, and whether the PSP
 // DPM perturbs that transient. An extension beyond the paper's
 // steady-state-only Markovian analysis.
-func StreamingStartupTransient(times []float64, awakePeriod float64, scale Scale) ([]TransientPoint, error) {
+func (r *Runner) StreamingStartupTransient(times []float64, awakePeriod float64, scale Scale) ([]TransientPoint, error) {
 	if len(times) == 0 {
 		times = []float64{50, 150, 300, 500, 700, 1000, 1500, 2500, 4000}
 	}
@@ -32,21 +33,17 @@ func StreamingStartupTransient(times []float64, awakePeriod float64, scale Scale
 		p := streamingParams(scale)
 		p.WithDPM = withDPM
 		p.AwakePeriod = awakePeriod
-		a, err := models.BuildStreaming(p)
-		if err != nil {
-			return nil, err
-		}
-		m, err := elab.Elaborate(a)
-		if err != nil {
-			return nil, err
-		}
-		gen := genOpts()
+		gen := r.genOpts()
 		gen.Predicates = []lts.StatePred{{Instance: "B", Action: "miss_frame"}}
-		l, err := lts.Generate(m, gen)
+		s, err := r.open(pipeline.Spec{
+			Key:   fmt.Sprintf("streaming:%#v", p),
+			Build: func() (*aemilia.ArchiType, error) { return models.BuildStreaming(p) },
+			Gen:   gen,
+		})
 		if err != nil {
 			return nil, err
 		}
-		return ctmc.Build(l)
+		return s.Chain()
 	}
 	withDPM, err := solve(true)
 	if err != nil {
@@ -72,11 +69,11 @@ func StreamingStartupTransient(times []float64, awakePeriod float64, scale Scale
 		}
 		dt := t - prev
 		var err error
-		piD, err = withDPM.TransientFromCtx(DefaultContext, piD, dt, 1e-9)
+		piD, err = withDPM.TransientFromCtx(r.cfg.Ctx, piD, dt, 1e-9)
 		if err != nil {
 			return nil, err
 		}
-		piN, err = noDPM.TransientFromCtx(DefaultContext, piN, dt, 1e-9)
+		piN, err = noDPM.TransientFromCtx(r.cfg.Ctx, piN, dt, 1e-9)
 		if err != nil {
 			return nil, err
 		}

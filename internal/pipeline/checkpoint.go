@@ -1,4 +1,4 @@
-package core
+package pipeline
 
 import (
 	"errors"
@@ -13,12 +13,12 @@ import (
 	"repro/internal/faultinject"
 )
 
-// CheckpointOptions makes a sweep resumable: Phase2Sweep periodically
-// writes the completed point results and the anchor solution to Path, and
-// a later run with Resume set replays only the missing points. Because
-// every point's result is a pure function of the sweep's input and the
-// anchor solution — never of scheduling — a resumed sweep's reports are
-// bit-identical to an uninterrupted run's.
+// CheckpointOptions makes a sweep resumable: SweepCheckpointed
+// periodically writes the completed point results and the anchor solution
+// to Path, and a later run with Resume set replays only the missing
+// points. Because every point's result is a pure function of the sweep's
+// input and the anchor solution — never of scheduling — a resumed sweep's
+// reports are bit-identical to an uninterrupted run's.
 type CheckpointOptions struct {
 	// Path is the checkpoint file. The file is written atomically
 	// (temp file + rename), so a crash mid-write never corrupts an
@@ -50,7 +50,7 @@ type CheckpointError struct {
 
 // Error implements the error interface.
 func (e *CheckpointError) Error() string {
-	return fmt.Sprintf("core: checkpoint %s %s: %v", e.Op, e.Path, e.Err)
+	return fmt.Sprintf("pipeline: checkpoint %s %s: %v", e.Op, e.Path, e.Err)
 }
 
 // Unwrap exposes the cause to errors.Is/As.
@@ -68,7 +68,8 @@ var (
 
 // ckMagic identifies the checkpoint format, version included: a format
 // change bumps the trailing version byte, and older readers reject the
-// file as a mismatch instead of misparsing it.
+// file as a mismatch instead of misparsing it. The magic predates this
+// package — checkpoints written by earlier releases resume unchanged.
 const ckMagic = "DPMCKPT1"
 
 // checkpoint is the decoded content of a checkpoint file.

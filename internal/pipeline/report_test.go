@@ -1,0 +1,56 @@
+package pipeline_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// TestValidatePerMeasureSorted: PerMeasure must come back sorted by
+// measure name on every call, independent of map iteration order — the
+// regression guard for the report-order fix.
+func TestValidatePerMeasureSorted(t *testing.T) {
+	exact := &pipeline.Phase2Report{Values: map[string]float64{
+		"zeta": 1, "alpha": 2, "mid": 3, "beta": 4, "omega": 5,
+	}}
+	simulated := &pipeline.Phase3Report{Estimates: map[string]stats.Interval{
+		"zeta":  {Mean: 1, HalfWidth: 0.1},
+		"alpha": {Mean: 2, HalfWidth: 0.1},
+		"mid":   {Mean: 3, HalfWidth: 0.1},
+		"beta":  {Mean: 4, HalfWidth: 0.1},
+		"omega": {Mean: 5, HalfWidth: 0.1},
+	}}
+
+	var first []string
+	for run := 0; run < 20; run++ {
+		rep := pipeline.Validate(exact, simulated, 1e-3)
+		if len(rep.PerMeasure) != len(exact.Values) {
+			t.Fatalf("run %d: %d rows, want %d", run, len(rep.PerMeasure), len(exact.Values))
+		}
+		names := make([]string, len(rep.PerMeasure))
+		for i, mv := range rep.PerMeasure {
+			names[i] = mv.Name
+		}
+		if !sort.StringsAreSorted(names) {
+			t.Fatalf("run %d: PerMeasure not sorted by name: %v", run, names)
+		}
+		if first == nil {
+			first = names
+			continue
+		}
+		for i := range names {
+			if names[i] != first[i] {
+				t.Fatalf("run %d: row order changed: %v vs %v", run, names, first)
+			}
+		}
+	}
+	if !simulated.Estimates["zeta"].Contains(1) {
+		t.Fatalf("sanity: interval should contain exact value")
+	}
+	rep := pipeline.Validate(exact, simulated, 1e-3)
+	if !rep.Consistent {
+		t.Fatalf("validation should be consistent when every exact value is inside its interval")
+	}
+}

@@ -1,0 +1,234 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/aemilia"
+	"repro/internal/lts"
+	"repro/internal/models"
+	"repro/internal/pipeline"
+)
+
+// rpcSpec is the canonical spec of the revised rpc model at the given
+// parameters, the same shape internal/experiments builds.
+func rpcSpec(p models.RPCParams) pipeline.Spec {
+	return pipeline.Spec{
+		Key:      fmt.Sprintf("rpc:%#v", p),
+		Build:    func() (*aemilia.ArchiType, error) { return models.BuildRPCRevised(p) },
+		Measures: models.RPCMeasures(p),
+	}
+}
+
+// TestManagerReusesStagedArtifacts opens two handles on the same spec —
+// with different scheduling configs — and checks they share one set of
+// staged artifacts: the second Phase2 does no generation and the model,
+// LTS and chain are pointer-identical.
+func TestManagerReusesStagedArtifacts(t *testing.T) {
+	p := models.DefaultRPCParams()
+	mgr := pipeline.NewManager()
+
+	s1, err := mgr.Open(rpcSpec(p), pipeline.Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rep1, err := s1.Phase2()
+	if err != nil {
+		t.Fatalf("Phase2: %v", err)
+	}
+	calls := lts.GenerateCalls()
+
+	// Different workers/lanes: scheduling only, must intern onto the same
+	// session state.
+	s2, err := mgr.Open(rpcSpec(p), pipeline.Config{Workers: 8, LaneWidth: 8})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if s1.SpecHash() != s2.SpecHash() {
+		t.Fatalf("spec hashes differ: %s vs %s", s1.SpecHash(), s2.SpecHash())
+	}
+	if mgr.Len() != 1 {
+		t.Fatalf("manager interned %d states, want 1", mgr.Len())
+	}
+
+	m1, err := s1.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	m2, err := s2.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	if m1 != m2 {
+		t.Fatalf("elaborated models not shared across handles")
+	}
+	l1, _ := s1.LTS()
+	l2, _ := s2.LTS()
+	if l1 != l2 {
+		t.Fatalf("LTS not shared across handles")
+	}
+	c1, _ := s1.Chain()
+	c2, _ := s2.Chain()
+	if c1 != c2 {
+		t.Fatalf("chain not shared across handles")
+	}
+
+	rep2, err := s2.Phase2()
+	if err != nil {
+		t.Fatalf("Phase2: %v", err)
+	}
+	if d := lts.GenerateCalls() - calls; d != 0 {
+		t.Fatalf("second handle regenerated the state space (%d extra Generate calls)", d)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("shared-state reports differ:\n%+v\n%+v", rep1, rep2)
+	}
+
+	// Reports are private copies: mutating one must not leak into the next.
+	for k := range rep2.Values {
+		rep2.Values[k] = -1
+	}
+	rep3, err := s1.Phase2()
+	if err != nil {
+		t.Fatalf("Phase2: %v", err)
+	}
+	if reflect.DeepEqual(rep2, rep3) {
+		t.Fatalf("Phase2 handed out a shared Values map")
+	}
+}
+
+// TestStoreHitMatchesFreshSolve runs Phase2 through a MemoryStore twice
+// — the second time from a cold session that can only answer from the
+// store — and checks the cached report deep-equals the fresh solve and
+// that the hit did no generation.
+func TestStoreHitMatchesFreshSolve(t *testing.T) {
+	p := models.DefaultRPCParams()
+	store := pipeline.NewMemoryStore()
+
+	fresh := pipeline.NewSession(rpcSpec(p), pipeline.Config{Workers: 1, Store: store})
+	rep1, err := fresh.Phase2()
+	if err != nil {
+		t.Fatalf("fresh Phase2: %v", err)
+	}
+	if store.Len() == 0 {
+		t.Fatalf("Phase2 did not populate the store")
+	}
+
+	calls := lts.GenerateCalls()
+	cold := pipeline.NewSession(rpcSpec(p), pipeline.Config{Workers: 1, Store: store})
+	rep2, err := cold.Phase2()
+	if err != nil {
+		t.Fatalf("cached Phase2: %v", err)
+	}
+	if d := lts.GenerateCalls() - calls; d != 0 {
+		t.Fatalf("store hit still generated the state space (%d Generate calls)", d)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("cached report differs from fresh solve:\n%+v\n%+v", rep1, rep2)
+	}
+
+	// A hit hands out a private clone: corrupting it must not poison the
+	// store for the next caller.
+	for k := range rep2.Values {
+		rep2.Values[k] = -1
+	}
+	rep3, err := pipeline.NewSession(rpcSpec(p), pipeline.Config{Workers: 1, Store: store}).Phase2()
+	if err != nil {
+		t.Fatalf("Phase2: %v", err)
+	}
+	if !reflect.DeepEqual(rep1, rep3) {
+		t.Fatalf("store entry was mutated through a handed-out report")
+	}
+}
+
+// TestSessionSingleFlight has concurrent callers open the same spec key
+// on one manager and solve: the build must run exactly once (one
+// Generate call) and every caller must see the identical report.
+func TestSessionSingleFlight(t *testing.T) {
+	p := models.DefaultRPCParams()
+	mgr := pipeline.NewManager()
+	start := lts.GenerateCalls()
+
+	const n = 8
+	reports := make([]*pipeline.Phase2Report, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := mgr.Open(rpcSpec(p), pipeline.Config{Workers: 1})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reports[i], errs[i] = s.Phase2()
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if d := lts.GenerateCalls() - start; d != 1 {
+		t.Fatalf("single-flight failed: %d Generate calls for one spec key, want 1", d)
+	}
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			t.Fatalf("caller %d saw a different report:\n%+v\n%+v", i, reports[0], reports[i])
+		}
+	}
+}
+
+// TestManagerRejectsEphemeralSpec: an empty Key cannot be interned.
+func TestManagerRejectsEphemeralSpec(t *testing.T) {
+	spec := rpcSpec(models.DefaultRPCParams())
+	spec.Key = ""
+	if _, err := pipeline.NewManager().Open(spec, pipeline.Config{}); err == nil {
+		t.Fatalf("Open accepted an ephemeral spec (empty Key)")
+	}
+}
+
+// TestSpecHashIgnoresScheduling checks the content address excludes
+// scheduling-only knobs (workers, contexts) and includes everything that
+// can change a result's bits.
+func TestSpecHashIgnoresScheduling(t *testing.T) {
+	p := models.DefaultRPCParams()
+	base := rpcSpec(p)
+
+	sched := base
+	sched.Gen.GenWorkers = 8
+	sched.Solve.Workers = 8
+	if base.Hash() != sched.Hash() {
+		t.Fatalf("worker counts changed the spec hash")
+	}
+
+	tol := base
+	tol.Solve.Tolerance = 1e-6
+	if base.Hash() == tol.Hash() {
+		t.Fatalf("solver tolerance did not change the spec hash")
+	}
+
+	meas := base
+	meas.Measures = meas.Measures[:len(meas.Measures)-1]
+	if base.Hash() == meas.Hash() {
+		t.Fatalf("measure set did not change the spec hash")
+	}
+
+	key := base
+	key.Key = "rpc:other"
+	if base.Hash() == key.Hash() {
+		t.Fatalf("spec key did not change the spec hash")
+	}
+
+	pred := base
+	pred.Gen.Predicates = append([]lts.StatePred(nil), pred.Gen.Predicates...)
+	pred.Gen.Predicates = append(pred.Gen.Predicates, lts.StatePred{Instance: "X", Action: "y"})
+	if base.Hash() == pred.Hash() {
+		t.Fatalf("generation predicates did not change the spec hash")
+	}
+}

@@ -26,6 +26,14 @@
 #               results/BENCH_batchsolve.json with the median ns/op of
 #               each variant and the per-model and aggregate speedups of
 #               the batched kernel over the per-point path.
+#   -P          pipeline-session mode: time the BenchmarkPipeline* six
+#               (the Phase2 question on both study models asked cold — a
+#               fresh ephemeral session, full build+generate+solve — vs
+#               warm — a re-opened handle on a staged Manager session —
+#               vs cache-hit — a cold session answering from a populated
+#               ResultCache) and write results/BENCH_pipeline.json with
+#               the median ns/op of each variant and the warm and
+#               cache-hit speedups over cold per model.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -35,7 +43,8 @@ pattern="."
 smoke=0
 sweepjson=0
 batchjson=0
-while getopts "r:c:p:sSB" opt; do
+pipejson=0
+while getopts "r:c:p:sSBP" opt; do
     case "$opt" in
     r) ref=$OPTARG ;;
     c) count=$OPTARG ;;
@@ -43,7 +52,8 @@ while getopts "r:c:p:sSB" opt; do
     s) smoke=1 ;;
     S) sweepjson=1 ;;
     B) batchjson=1 ;;
-    *) echo "usage: $0 [-r ref] [-c count] [-p pattern] [-s] [-S] [-B]" >&2; exit 2 ;;
+    P) pipejson=1 ;;
+    *) echo "usage: $0 [-r ref] [-c count] [-p pattern] [-s] [-S] [-B] [-P]" >&2; exit 2 ;;
     esac
 done
 
@@ -153,6 +163,65 @@ if [ "$batchjson" = 1 ]; then
     }' > results/BENCH_batchsolve.json
     echo "== results/BENCH_batchsolve.json =="
     cat results/BENCH_batchsolve.json
+    exit 0
+fi
+
+if [ "$pipejson" = 1 ]; then
+    out=$(mktemp)
+    trap 'rm -f "$out"' EXIT
+    benchtime=5x
+    echo "== bench: pipeline sessions (benchtime $benchtime, count $count) =="
+    go test -run '^$' -bench 'Pipeline(RPC|Streaming)(Cold|Warm|CacheHit)$' \
+        -benchtime "$benchtime" -count "$count" . | tee "$out"
+    median() {
+        awk -v name="$1" '$1 == "Benchmark"name {print $3}' "$out" |
+            sort -n | awk '{v[NR]=$1} END {
+                if (NR == 0) { print "error: no samples" > "/dev/stderr"; exit 1 }
+                print v[int((NR+1)/2)]
+            }'
+    }
+    rpc_cold=$(median PipelineRPCCold)
+    rpc_warm=$(median PipelineRPCWarm)
+    rpc_hit=$(median PipelineRPCCacheHit)
+    str_cold=$(median PipelineStreamingCold)
+    str_warm=$(median PipelineStreamingWarm)
+    str_hit=$(median PipelineStreamingCacheHit)
+    cpu=$(awk -F': ' '/^cpu:/ {print $2; exit}' "$out")
+    mkdir -p results
+    awk -v rpc_cold="$rpc_cold" -v rpc_warm="$rpc_warm" -v rpc_hit="$rpc_hit" \
+        -v str_cold="$str_cold" -v str_warm="$str_warm" -v str_hit="$str_hit" \
+        -v cpu="$cpu" -v cores="$(getconf _NPROCESSORS_ONLN)" \
+        -v go="$(go env GOVERSION)" -v os="$(go env GOOS)/$(go env GOARCH)" \
+        -v benchtime="$benchtime, count $count (median reported)" 'BEGIN {
+        printf "{\n"
+        printf "  \"description\": \"Cost of one exact Markovian Phase2 answer through the session/handle layer, on both study models. cold runs a fresh ephemeral session per op: build the architectural description, elaborate, generate the state space, build the chain, solve, evaluate the measures — what a one-shot CLI invocation pays. warm re-opens a handle on an already-staged Manager session per op: the spec is content-hashed and interned onto the shared state, so the op costs one SHA-256 of the spec plus a deep clone of the staged report. cache_hit runs a cold session state per op against a populated ResultCache: one spec hash plus a store lookup and clone, no staged artifacts at all — what a re-run with a persistent store would pay. All three paths return deep-equal reports (pinned by the pipeline tests), so the ratios are pure reuse savings.\",\n"
+        printf "  \"environment\": {\n"
+        printf "    \"cpu\": \"%s\",\n", cpu
+        printf "    \"cores\": %d,\n", cores
+        printf "    \"go\": \"%s\",\n", go
+        printf "    \"os\": \"%s\"\n", os
+        printf "  },\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"rpc\": {\n"
+        printf "    \"model\": \"revised rpc, default parameters\",\n"
+        printf "    \"cold_ns_per_op\": %d,\n", rpc_cold
+        printf "    \"warm_ns_per_op\": %d,\n", rpc_warm
+        printf "    \"cache_hit_ns_per_op\": %d,\n", rpc_hit
+        printf "    \"warm_speedup_vs_cold\": %.0f,\n", rpc_cold / rpc_warm
+        printf "    \"cache_hit_speedup_vs_cold\": %.0f\n", rpc_cold / rpc_hit
+        printf "  },\n"
+        printf "  \"streaming\": {\n"
+        printf "    \"model\": \"streaming, default parameters (~50k states)\",\n"
+        printf "    \"cold_ns_per_op\": %d,\n", str_cold
+        printf "    \"warm_ns_per_op\": %d,\n", str_warm
+        printf "    \"cache_hit_ns_per_op\": %d,\n", str_hit
+        printf "    \"warm_speedup_vs_cold\": %.0f,\n", str_cold / str_warm
+        printf "    \"cache_hit_speedup_vs_cold\": %.0f\n", str_cold / str_hit
+        printf "  }\n"
+        printf "}\n"
+    }' > results/BENCH_pipeline.json
+    echo "== results/BENCH_pipeline.json =="
+    cat results/BENCH_pipeline.json
     exit 0
 fi
 

@@ -44,6 +44,18 @@ go test -timeout 10m -race -cpu 1,2 \
     -run 'FaultInject|Panic|Escalat|Cancel|Checkpoint' \
     ./internal/core/ ./internal/ctmc/ ./internal/lts/ ./internal/sim/ ./internal/faultinject/ ./internal/fault/
 
+# Session-sharing smoke under the race detector at -cpu 1,2: concurrent
+# goroutines open handles on one shared spec key and solve through the
+# single-flight stages (TestSessionSingleFlight), two handles with
+# different scheduling configs share one set of staged artifacts
+# (TestManagerReusesStagedArtifacts), and concurrent store reads hand out
+# private clones (TestStoreHitMatchesFreshSolve). The session layer is
+# the one place every driver's goroutines now meet, so its race coverage
+# is load-bearing.
+echo "== session race smoke (-cpu 1,2) =="
+go test -timeout 10m -race -cpu 1,2 \
+    -run 'SessionSingleFlight|ManagerReuses|StoreHit' ./internal/pipeline/
+
 # Benchmark smoke run: one iteration of every benchmark, so a benchmark
 # that no longer compiles or panics fails CI without costing bench time.
 echo "== bench smoke =="
