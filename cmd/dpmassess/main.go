@@ -5,8 +5,8 @@
 //
 //	dpmassess lts      [-dot out.dot] [-max N] [-workers N] model.aem
 //	dpmassess check    -high INST -low INST [-high-labels l1,l2] [-workers N] model.aem
-//	dpmassess solve    -measures spec.msr [-sweep auto|gauss-seidel|jacobi]
-//	                   [-lanes K] [-checkpoint file.ckpt] [-resume]
+//	dpmassess solve    -measures spec.msr [-sweep auto|gauss-seidel|jacobi|multilevel]
+//	                   [-stats] [-lanes K] [-checkpoint file.ckpt] [-resume]
 //	                   [-workers N] model.aem
 //	dpmassess sim      -measures spec.msr [-runlength T] [-warmup T]
 //	                   [-reps N] [-seed S] [-workers N] model.aem
@@ -494,7 +494,12 @@ func runSolve(args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
 	measuresPath := fs.String("measures", "", "measure definition file (companion language)")
 	sweepName := fs.String("sweep", "auto",
-		"steady-state sweep mode: auto, gauss-seidel, or jacobi")
+		"steady-state sweep mode: auto, gauss-seidel, jacobi, or multilevel\n"+
+			"(two-level aggregation/disaggregation for slow-mixing chains)")
+	stats := fs.Bool("stats", false,
+		"print solver statistics after the measures: the scheme that actually\n"+
+			"ran, iterations (and multilevel cycles), final residual, and every\n"+
+			"escalation attempt")
 	lanes := fs.Int("lanes", 0,
 		"sweep points solved per batched steady-state call on checkpointed solves:\n"+
 			"0 auto-selects, 1 forces the per-point solver (results are identical at\n"+
@@ -536,6 +541,8 @@ func runSolve(args []string) error {
 		sweep = ctmc.SweepGaussSeidel
 	case "jacobi":
 		sweep = ctmc.SweepJacobi
+	case "multilevel":
+		sweep = ctmc.SweepMultilevel
 	default:
 		return fmt.Errorf("unknown sweep mode %q", *sweepName)
 	}
@@ -587,7 +594,33 @@ func runSolve(args []string) error {
 	for _, m := range ms {
 		fmt.Printf("%-24s %.8g\n", m.Name, rep.Values[m.Name])
 	}
+	if *stats {
+		printSolveTrace(rep.Trace)
+	}
 	return nil
+}
+
+// printSolveTrace renders a report's solver trace, one line per attempt:
+// the scheme that actually ran (auto upgrades included), its iteration
+// budget and outcome, and — for multilevel attempts — the outer cycle
+// count. Checkpointed solves record traces only for escalated points, so
+// a missing trace is reported rather than silently skipped.
+func printSolveTrace(tr *ctmc.SolveTrace) {
+	if tr == nil || len(tr.Attempts) == 0 {
+		fmt.Println("solver: no trace recorded (checkpointed solves trace only escalated points)")
+		return
+	}
+	fmt.Printf("solver: %d attempt(s), escalated=%t\n", len(tr.Attempts), tr.Escalated())
+	for _, a := range tr.Attempts {
+		line := fmt.Sprintf("solver:   rung %d %-21s sweep=%-12s iterations=%d",
+			a.Rung, a.Action, a.Sweep, a.Iterations)
+		if a.Cycles > 0 {
+			line += fmt.Sprintf(" cycles=%d", a.Cycles)
+		}
+		line += fmt.Sprintf(" residual=%.3g max-iterations=%d converged=%t",
+			a.Residual, a.MaxIterations, a.Converged)
+		fmt.Println(line)
+	}
 }
 
 func runSim(args []string) error {

@@ -1,10 +1,11 @@
-package bisim
+package bisim_test
 
 import (
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/bisim"
 	"repro/internal/ctmc"
 	"repro/internal/lts"
 	"repro/internal/rates"
@@ -30,7 +31,7 @@ func symmetricBranch() *lts.LTS {
 
 func TestMarkovianPartitionLumpsSymmetry(t *testing.T) {
 	l := symmetricBranch()
-	blocks := MarkovianPartition(l)
+	blocks := bisim.MarkovianPartition(l)
 	if blocks[1] != blocks[2] {
 		t.Errorf("states 1 and 2 should lump: %v", blocks)
 	}
@@ -49,7 +50,7 @@ func TestMarkovianPartitionSeparatesRates(t *testing.T) {
 	l.AddTransition(0, 2, a, rates.ExpRate(1))
 	l.AddTransition(1, 3, b, rates.ExpRate(2))
 	l.AddTransition(2, 3, b, rates.ExpRate(5)) // differs
-	blocks := MarkovianPartition(l)
+	blocks := bisim.MarkovianPartition(l)
 	if blocks[1] == blocks[2] {
 		t.Error("states with different rates must not lump")
 	}
@@ -65,7 +66,7 @@ func TestMarkovianPartitionCumulativeRates(t *testing.T) {
 	l.AddTransition(0, 3, a, rates.ExpRate(1))
 	l.AddTransition(1, 2, a, rates.ExpRate(2))
 	// 2 and 3 are absorbing and lump together.
-	blocks := MarkovianPartition(l)
+	blocks := bisim.MarkovianPartition(l)
 	if blocks[2] != blocks[3] {
 		t.Fatalf("absorbing states should lump: %v", blocks)
 	}
@@ -75,19 +76,19 @@ func TestMarkovianPartitionCumulativeRates(t *testing.T) {
 }
 
 func TestMarkovianEquivalent(t *testing.T) {
-	if !MarkovianEquivalent(symmetricBranch(), symmetricBranch()) {
+	if !bisim.MarkovianEquivalent(symmetricBranch(), symmetricBranch()) {
 		t.Error("identical chains must be Markovian bisimilar")
 	}
 	l2 := symmetricBranch()
 	l2.AddTransition(0, 3, l2.LabelIndex("d"), rates.ExpRate(1))
-	if MarkovianEquivalent(symmetricBranch(), l2) {
+	if bisim.MarkovianEquivalent(symmetricBranch(), l2) {
 		t.Error("extra move must break Markovian bisimilarity")
 	}
 }
 
 func TestLumpPreservesSteadyState(t *testing.T) {
 	l := symmetricBranch()
-	lumped := Lump(l)
+	lumped := bisim.Lump(l)
 	if lumped.NumStates != 3 {
 		t.Fatalf("lumped to %d states, want 3", lumped.NumStates)
 	}
@@ -135,14 +136,14 @@ func TestLumpHandlesImmediates(t *testing.T) {
 	l.AddTransition(4, 0, back, rates.ExpRate(2))
 	l.AddTransition(5, 0, back, rates.ExpRate(9)) // unreachable, distinct
 
-	blocks := MarkovianPartition(l)
+	blocks := bisim.MarkovianPartition(l)
 	if blocks[1] != blocks[2] {
 		t.Errorf("vanishing twins should lump: %v", blocks)
 	}
 	if blocks[3] != blocks[4] {
 		t.Errorf("targets with equal behaviour should lump: %v", blocks)
 	}
-	lumped := Lump(l)
+	lumped := bisim.Lump(l)
 	orig, err := ctmc.Build(l)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +171,7 @@ func TestLumpCarriesPredicates(t *testing.T) {
 	l := symmetricBranch()
 	l.PredNames = []string{"p"}
 	l.Preds = [][]bool{{true, false, false, true}}
-	lumped := Lump(l)
+	lumped := bisim.Lump(l)
 	if lumped.Preds == nil || len(lumped.Preds[0]) != lumped.NumStates {
 		t.Fatal("predicates not carried over")
 	}
@@ -210,7 +211,7 @@ func TestPropertyLumpExact(t *testing.T) {
 		if err != nil {
 			continue // multiple BSCCs: skip
 		}
-		lumped := Lump(l)
+		lumped := bisim.Lump(l)
 		small, err := ctmc.Build(lumped)
 		if err != nil {
 			t.Fatalf("trial %d: lumped chain broken: %v", trial, err)
@@ -245,8 +246,8 @@ func TestPropertyLumpRefinesStrong(t *testing.T) {
 	}
 	for trial := 0; trial < 20; trial++ {
 		l := randomRatedLTS(r, 3+r.Intn(5))
-		lumped := Lump(l)
-		if ok, _ := Equivalent(erase(l), erase(lumped), Strong); !ok {
+		lumped := bisim.Lump(l)
+		if ok, _ := bisim.Equivalent(erase(l), erase(lumped), bisim.Strong); !ok {
 			t.Errorf("trial %d: lumped quotient not strongly bisimilar after rate erasure", trial)
 		}
 	}

@@ -1,0 +1,79 @@
+package bisim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RatePartition computes the ordinary-lumpability partition of a bare
+// weighted digraph given as flat edge arrays: n states, edge e goes
+// from[e] -> to[e] with weight[e] > 0. It is MarkovianPartition stripped
+// to a single implicit label — two states land in the same block iff
+// their cumulative weights into every block agree — which is what the
+// multilevel solver needs to coarsen a CTMC component whose edges are
+// already flattened into the solve plan's CSR skeleton.
+//
+// Determinism contract: the result is a pure function of (n, from, to,
+// weight) up to edge reordering (weights toward one block accumulate in
+// a map and are compared through a canonical sorted signature), and
+// block ids are numbered by first occurrence — block b's least member
+// precedes block b+1's least member — so callers can merge blocks "in
+// block order" without any further tie-breaking.
+func RatePartition(n int, from, to []int32, weight []float64) []int {
+	// Outgoing adjacency in CSR form so each refinement pass walks the
+	// edges once, grouped by source state.
+	outStart := make([]int32, n+1)
+	for _, f := range from {
+		outStart[f+1]++
+	}
+	for s := 0; s < n; s++ {
+		outStart[s+1] += outStart[s]
+	}
+	outTo := make([]int32, len(from))
+	outW := make([]float64, len(from))
+	fill := make([]int32, n)
+	copy(fill, outStart[:n])
+	for e, f := range from {
+		outTo[fill[f]] = to[e]
+		outW[fill[f]] = weight[e]
+		fill[f]++
+	}
+
+	cur := make([]int, n)
+	numBlocks := 1
+	for {
+		sigs := make(map[string]int, numBlocks*2)
+		next := make([]int, n)
+		var sb strings.Builder
+		for s := 0; s < n; s++ {
+			sb.Reset()
+			sb.WriteString(strconv.Itoa(cur[s]))
+			acc := make(map[int]float64, 4)
+			for k := outStart[s]; k < outStart[s+1]; k++ {
+				acc[cur[outTo[k]]] += outW[k]
+			}
+			blocks := make([]int, 0, len(acc))
+			for b := range acc {
+				blocks = append(blocks, b)
+			}
+			sort.Ints(blocks)
+			for _, b := range blocks {
+				fmt.Fprintf(&sb, "|%d:%.12g", b, acc[b])
+			}
+			key := sb.String()
+			id, ok := sigs[key]
+			if !ok {
+				id = len(sigs)
+				sigs[key] = id
+			}
+			next[s] = id
+		}
+		if len(sigs) == numBlocks {
+			return next
+		}
+		numBlocks = len(sigs)
+		cur = next
+	}
+}

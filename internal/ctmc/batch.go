@@ -161,19 +161,20 @@ func (c *CTMC) SolveBatchLanes(points [][]float64, opts BatchOptions) (out [][]f
 		}
 	}
 
-	var (
-		cols []([]float64)
-		errs []*ConvergenceError
-	)
-	if resolveSweep(solve, len(plan.target)) == SweepJacobi {
-		cols, errs, err = bc.jacobiBatch(solve, tol, start)
+	// solvePlain is the pre-multilevel scheme selection on a (sub)batch:
+	// the shared resolveSweep rule picks Jacobi or Gauss-Seidel, and auto
+	// mode retries Jacobi's failed lanes with the sequential sweep from
+	// the original start — the same fallback a solo auto solve runs,
+	// batched across exactly the lanes that need it.
+	solvePlain := func(cur *batchComponent, curTol []float64) ([][]float64, []*ConvergenceError, error) {
+		if resolveSweep(solve, cur.n) != SweepJacobi {
+			return cur.gaussSeidelBatch(solve, curTol, start)
+		}
+		cols, errs, err := cur.jacobiBatch(solve, curTol, start)
 		if err != nil {
 			return nil, nil, err
 		}
 		if solve.Sweep == SweepAuto {
-			// Auto mode retries the failed lanes with the sequential sweep
-			// from the original start — the same fallback a solo auto solve
-			// runs, batched across exactly the lanes that need it.
 			var retry []int
 			for k, e := range errs {
 				if e != nil && errors.Is(e, ErrNoConvergence) {
@@ -181,10 +182,10 @@ func (c *CTMC) SolveBatchLanes(points [][]float64, opts BatchOptions) (out [][]f
 				}
 			}
 			if len(retry) > 0 {
-				sub := bc.subBatch(retry)
+				sub := cur.subBatch(retry)
 				subTol := make([]float64, len(retry))
 				for i, k := range retry {
-					subTol[i] = tol[k]
+					subTol[i] = curTol[k]
 				}
 				subCols, subErrs, subErr := sub.gaussSeidelBatch(solve, subTol, start)
 				if subErr != nil {
@@ -195,11 +196,84 @@ func (c *CTMC) SolveBatchLanes(points [][]float64, opts BatchOptions) (out [][]f
 				}
 			}
 		}
-	} else {
-		cols, errs, err = bc.gaussSeidelBatch(solve, tol, start)
-		if err != nil {
-			return nil, nil, err
+		return cols, errs, nil
+	}
+
+	var (
+		cols []([]float64)
+		errs []*ConvergenceError
+	)
+	switch {
+	case solve.Sweep == SweepMultilevel:
+		cols, errs, err = bc.multilevelBatch(solve, tol, start, c.ensureCoarse(plan))
+	case solve.Sweep == SweepAuto && bc.n >= multilevelAutoMin:
+		// The batched mirror of the solo auto rule: probe every lane with
+		// the same fixed Gauss-Seidel trajectory (bit-identical per lane
+		// to the solo probe), route stalled lanes through the multilevel
+		// cycle and the rest through the plain schemes, and retry plain
+		// lanes that still exhausted their budget with the multilevel
+		// cycle from the original start — the same attempt chain a solo
+		// auto solve runs per point. When no lane needs the multilevel
+		// path this is exactly the plain path.
+		stalled := bc.stalledLanes(tol, start)
+		var ml, rest []int
+		for k, s := range stalled {
+			if s {
+				ml = append(ml, k)
+			} else {
+				rest = append(rest, k)
+			}
 		}
+		cols = make([][]float64, K)
+		errs = make([]*ConvergenceError, K)
+		runML := func(lanes []int) error {
+			sub := bc.subBatch(lanes)
+			subTol := make([]float64, len(lanes))
+			for i, k := range lanes {
+				subTol[i] = tol[k]
+			}
+			subCols, subErrs, err := sub.multilevelBatch(solve, subTol, start, c.ensureCoarse(plan))
+			if err != nil {
+				return err
+			}
+			for i, k := range lanes {
+				cols[k], errs[k] = subCols[i], subErrs[i]
+			}
+			return nil
+		}
+		if len(ml) > 0 {
+			if mlErr := runML(ml); mlErr != nil {
+				return nil, nil, mlErr
+			}
+		}
+		if len(rest) > 0 {
+			restTol := make([]float64, len(rest))
+			for i, k := range rest {
+				restTol[i] = tol[k]
+			}
+			rCols, rErrs, rErr := solvePlain(bc.subBatch(rest), restTol)
+			if rErr != nil {
+				return nil, nil, rErr
+			}
+			var retry []int
+			for i, k := range rest {
+				if rErrs[i] != nil && errors.Is(rErrs[i], ErrNoConvergence) {
+					retry = append(retry, k)
+					continue
+				}
+				cols[k], errs[k] = rCols[i], rErrs[i]
+			}
+			if len(retry) > 0 {
+				if mlErr := runML(retry); mlErr != nil {
+					return nil, nil, mlErr
+				}
+			}
+		}
+	default:
+		cols, errs, err = solvePlain(bc, tol)
+	}
+	if err != nil {
+		return nil, nil, err
 	}
 	laneErrs = make([]error, K)
 	for k := 0; k < K; k++ {

@@ -12,10 +12,15 @@ const (
 	// ladder of configuration changes:
 	//
 	//	rung 1: raise MaxIterations ×4
-	//	rung 2: switch the sweep scheme (Gauss-Seidel ↔ Jacobi)
+	//	rung 2: switch the sweep scheme (Gauss-Seidel ↔ Jacobi;
+	//	        multilevel falls back to Gauss-Seidel)
 	//	rung 3: halve the damping factor Omega
 	//	rung 4: drop the warm start (cold restart; skipped when the
 	//	        attempt was already cold)
+	//	rung 5: switch to the multilevel scheme (skipped when the
+	//	        failing configuration already was multilevel), the
+	//	        structurally different last resort for slow-mixing
+	//	        chains the point smoothers cannot crack
 	//
 	// Every rung keeps the changes of the rungs below it, each attempt is
 	// recorded in the SolveTrace, and the ladder position is a pure
@@ -33,13 +38,13 @@ const escalateIterFactor = 4
 
 // SolveAttempt records one attempt of an escalated solve.
 type SolveAttempt struct {
-	// Rung is the ladder position: 0 for the base attempt, 1..4 for the
+	// Rung is the ladder position: 0 for the base attempt, 1..5 for the
 	// escalation rungs.
 	Rung int
 	// Action names what changed at this rung: "base" (or
 	// "forced-nonconvergence" when fault injection failed the base
 	// attempt), "raise-max-iterations", "switch-sweep",
-	// "increase-damping", "cold-restart".
+	// "increase-damping", "cold-restart", "multilevel".
 	Action string
 	// Sweep, MaxIterations, and Omega are the attempt's resolved solver
 	// configuration (Sweep is never SweepAuto).
@@ -50,11 +55,14 @@ type SolveAttempt struct {
 	WarmStart bool
 	// Converged reports whether the attempt succeeded.
 	Converged bool
-	// Iterations and Residual are the failing attempt's final iteration
-	// count and residual (zero for a converged attempt: the solver does
-	// not report them on success).
+	// Iterations and Residual are the attempt's final iteration count and
+	// residual — the failure point of a failed attempt, the convergence
+	// point of a successful one.
 	Iterations int
 	Residual   float64
+	// Cycles is the attempt's outer multilevel cycle count (zero for the
+	// point-sweep schemes, which have no outer loop).
+	Cycles int
 }
 
 // SolveTrace is the attempt history of an escalated solve, attached to
@@ -75,7 +83,10 @@ func (t *SolveTrace) Escalated() bool { return t != nil && len(t.Attempts) > 1 }
 // resolved to the selected scheme's default when unset. The escalation
 // ladder starts from this resolved configuration. Note that in SweepAuto
 // mode the resolved scheme depends on opts.Workers; callers comparing
-// traces across worker counts must pin an explicit sweep mode.
+// traces across worker counts must pin an explicit sweep mode. The auto
+// rule's stall probe is not run here — an auto solve that upgrades to
+// multilevel reports the upgrade through the trace's attempt record,
+// which always carries the scheme that actually ran.
 func (c *CTMC) ResolveSolve(opts SolveOptions) (SolveOptions, error) {
 	opts = solveDefaults(opts)
 	plan, err := c.ensurePlan()
@@ -93,8 +104,13 @@ func (c *CTMC) ResolveSolve(opts SolveOptions) (SolveOptions, error) {
 	return opts, nil
 }
 
-// attemptRecord summarizes one solve outcome for the trace.
-func attemptRecord(rung int, action string, cfg SolveOptions, err error) SolveAttempt {
+// attemptRecord summarizes one solve outcome for the trace. On success
+// the statistics come from the solver's own report; on failure from the
+// convergence error. Either way the recorded scheme is the one that
+// actually ran — in auto mode that may be the Jacobi→Gauss-Seidel
+// fallback or the stall probe's multilevel upgrade, not the statically
+// resolved scheme.
+func attemptRecord(rung int, action string, cfg SolveOptions, st solveStats, err error) SolveAttempt {
 	a := SolveAttempt{
 		Rung:          rung,
 		Action:        action,
@@ -104,13 +120,19 @@ func attemptRecord(rung int, action string, cfg SolveOptions, err error) SolveAt
 		WarmStart:     len(cfg.WarmStart) > 0,
 		Converged:     err == nil,
 	}
+	if err == nil {
+		a.Sweep = st.Sweep
+		a.Iterations = st.Iterations
+		a.Residual = st.Residual
+		a.Cycles = st.Cycles
+		return a
+	}
 	var ce *ConvergenceError
 	if errors.As(err, &ce) {
-		// Record the scheme that actually failed: in auto mode the base
-		// attempt may have fallen back from Jacobi to Gauss-Seidel.
 		a.Sweep = ce.Sweep
 		a.Iterations = ce.Iterations
 		a.Residual = ce.Residual
+		a.Cycles = ce.Cycles
 	}
 	return a
 }
@@ -126,8 +148,8 @@ func (c *CTMC) SteadyStateTraced(opts SolveOptions) ([]float64, *SolveTrace, err
 	if err != nil {
 		return nil, nil, err
 	}
-	pi, err := c.SteadyState(opts)
-	trace := &SolveTrace{Attempts: []SolveAttempt{attemptRecord(0, "base", resolved, err)}}
+	pi, st, err := c.steadyStateStats(opts)
+	trace := &SolveTrace{Attempts: []SolveAttempt{attemptRecord(0, "base", resolved, st, err)}}
 	if err == nil {
 		return pi, trace, nil
 	}
@@ -165,6 +187,10 @@ func (c *CTMC) EscalateFrom(opts SolveOptions, trace *SolveTrace) ([]float64, *S
 			if o.Sweep == SweepJacobi {
 				o.Sweep = SweepGaussSeidel
 			} else {
+				// Gauss-Seidel and multilevel both switch to Jacobi — for a
+				// failed multilevel solve the point schemes are the
+				// structurally different thing to try, and rung 5 never
+				// repeats the scheme that already failed.
 				o.Sweep = SweepJacobi
 			}
 			if !explicitOmega {
@@ -190,14 +216,27 @@ func (c *CTMC) EscalateFrom(opts SolveOptions, trace *SolveTrace) ([]float64, *S
 			o.WarmStart = nil
 			return true
 		}},
+		{"multilevel", func(o *SolveOptions) bool {
+			if opts.Sweep == SweepMultilevel {
+				return false // the base scheme already was multilevel
+			}
+			o.Sweep = SweepMultilevel
+			if !explicitOmega {
+				// The rungs below may have damped the smoother for Jacobi's
+				// benefit; the multilevel cycle smooths with plain
+				// Gauss-Seidel.
+				o.Omega = 1
+			}
+			return true
+		}},
 	}
 	var lastErr error = &ConvergenceError{Sweep: cur.Sweep, Tolerance: cur.Tolerance, Point: -1}
 	for r, rung := range rungs {
 		if !rung.apply(&cur) {
 			continue
 		}
-		pi, err := c.SteadyState(cur)
-		trace.Attempts = append(trace.Attempts, attemptRecord(r+1, rung.action, cur, err))
+		pi, st, err := c.steadyStateStats(cur)
+		trace.Attempts = append(trace.Attempts, attemptRecord(r+1, rung.action, cur, st, err))
 		if err == nil {
 			return pi, trace, nil
 		}

@@ -105,8 +105,8 @@ func TestEscalationLadderExhausts(t *testing.T) {
 	if !errors.Is(err, ctmc.ErrNoConvergence) {
 		t.Fatalf("exhausted ladder should report non-convergence, got %v", err)
 	}
-	// Cold solve: the cold-restart rung is skipped, leaving base + 3 rungs.
-	wantActions := []string{"base", "raise-max-iterations", "switch-sweep", "increase-damping"}
+	// Cold solve: the cold-restart rung is skipped, leaving base + 4 rungs.
+	wantActions := []string{"base", "raise-max-iterations", "switch-sweep", "increase-damping", "multilevel"}
 	if len(trace.Attempts) != len(wantActions) {
 		t.Fatalf("attempts = %d, want %d: %+v", len(trace.Attempts), len(wantActions), trace.Attempts)
 	}
@@ -120,6 +120,9 @@ func TestEscalationLadderExhausts(t *testing.T) {
 	}
 	if got, want := trace.Attempts[3].Omega, jacobiOmegaForTest/2; got != want {
 		t.Errorf("increase-damping rung omega = %v, want %v", got, want)
+	}
+	if a := trace.Attempts[4]; a.Sweep != ctmc.SweepMultilevel || a.Omega != 1 {
+		t.Errorf("multilevel rung should run undamped multilevel, got %+v", a)
 	}
 }
 

@@ -17,10 +17,23 @@ import (
 type Sweep int
 
 const (
-	// SweepAuto picks Jacobi for components of at least JacobiThreshold
-	// states when more than one worker is available (where the parallel
-	// sweep pays off) and Gauss-Seidel otherwise, falling back to
-	// Gauss-Seidel if Jacobi fails to converge.
+	// SweepAuto picks the scheme by an explicit, scheduling-independent
+	// rule, identical in the solo and batched paths:
+	//
+	//  1. Jacobi for components of at least JacobiThreshold states when
+	//     more than one worker is available (where the parallel sweep
+	//     pays off), or of at least JacobiThreshold×16 states even with
+	//     one worker (where the batched/tiled kernels' cache behavior
+	//     pays off regardless of parallelism), falling back to
+	//     Gauss-Seidel if Jacobi fails to converge;
+	//  2. Gauss-Seidel otherwise;
+	//  3. on components of at least 64 states, a fixed sequential
+	//     Gauss-Seidel probe (24 sweeps on a copy of the start vector)
+	//     first tests for stalled residual decay; a stalled component is
+	//     solved with SweepMultilevel instead of rule 1/2. The probe is a
+	//     pure function of the chain and the start vector — never of
+	//     Workers or lane packing — and discards its iterate, so a
+	//     non-stalled solve is bit-identical to the pre-probe behavior.
 	SweepAuto Sweep = iota
 	// SweepGaussSeidel forces the sequential Gauss-Seidel sweep.
 	SweepGaussSeidel
@@ -28,6 +41,18 @@ const (
 	// independent and therefore partition across workers while staying
 	// bit-identical at any worker count.
 	SweepJacobi
+	// SweepMultilevel forces the two-level iterative aggregation/
+	// disaggregation (IAD) outer loop: Gauss-Seidel pre-smoothing, an
+	// exact (GTH) solve of the chain aggregated by a deterministic
+	// coarsening partition, disaggregation by within-block conditional
+	// redistribution, and Gauss-Seidel post-smoothing, with convergence
+	// tested on the fine-level residual at post-smoothing sweeps only.
+	// Near-completely-decomposable chains (long dwell times, rare
+	// cross-cluster transitions — the DPM sleep/wake structure) converge
+	// in a bounded number of cycles where plain sweeps need O(1/ε)
+	// iterations. The smoother is always sequential Gauss-Seidel, so the
+	// result is bit-identical at any worker count by construction.
+	SweepMultilevel
 )
 
 // String returns the sweep mode's canonical name.
@@ -37,6 +62,8 @@ func (s Sweep) String() string {
 		return "gauss-seidel"
 	case SweepJacobi:
 		return "jacobi"
+	case SweepMultilevel:
+		return "multilevel"
 	default:
 		return "auto"
 	}
@@ -109,9 +136,12 @@ type ConvergenceError struct {
 	Residual float64
 	// Tolerance is the convergence threshold that was not reached.
 	Tolerance float64
-	// Sweep is the iteration scheme that failed (SweepGaussSeidel or
-	// SweepJacobi, never SweepAuto).
+	// Sweep is the iteration scheme that failed (SweepGaussSeidel,
+	// SweepJacobi, or SweepMultilevel, never SweepAuto).
 	Sweep Sweep
+	// Cycles is the number of multilevel outer cycles performed (0 for
+	// the plain sweeps).
+	Cycles int
 	// Point is the sweep-point index the failed solve belongs to, or -1
 	// when the solve was not part of a sweep. SolveBatch sets it to the
 	// batch-local lane; core.Phase2Sweep rewrites it to the global
@@ -127,6 +157,9 @@ type ConvergenceError struct {
 func (e *ConvergenceError) Error() string {
 	msg := fmt.Sprintf("%v after %d iterations (%s sweep, residual %.3g, tolerance %.3g)",
 		ErrNoConvergence, e.Iterations, e.Sweep, e.Residual, e.Tolerance)
+	if e.Sweep == SweepMultilevel {
+		msg += fmt.Sprintf(" in %d cycles", e.Cycles)
+	}
 	if e.Point >= 0 {
 		msg += fmt.Sprintf(" at sweep point %d", e.Point)
 		if e.Params != nil {
@@ -158,16 +191,28 @@ func solveDefaults(opts SolveOptions) SolveOptions {
 	return opts
 }
 
-// resolveSweep applies the SweepAuto rule to the resolved options: Jacobi
-// needs fewer wall-clock sweeps only when rows actually spread across
-// workers; damped Jacobi converges slower than Gauss-Seidel per sweep, so
-// with one worker — or a component too small to amortize the pool — the
-// sequential sweep wins.
+// jacobiSoloFactor scales JacobiThreshold for the single-worker clause of
+// the SweepAuto rule: with one worker the Jacobi pool wins nothing from
+// parallelism, but on a huge component its tiled, cache-blocked kernels
+// still beat the sequential sweep's strided reads, so auto mode picks
+// Jacobi anyway once the component reaches JacobiThreshold×16 states.
+const jacobiSoloFactor = 16
+
+// resolveSweep applies the static half of the SweepAuto rule (rules 1 and
+// 2 of the SweepAuto docs) to the resolved options: Jacobi when the
+// component is large enough to amortize the pool (JacobiThreshold states
+// with more than one worker, JacobiThreshold×jacobiSoloFactor with one),
+// Gauss-Seidel otherwise. The dynamic half — the stalled-decay probe that
+// upgrades to SweepMultilevel — runs inside the solve, because it needs
+// the component's rates; see steadyStateStats and SolveBatchLanes.
 func resolveSweep(opts SolveOptions, componentSize int) Sweep {
 	if opts.Sweep != SweepAuto {
 		return opts.Sweep
 	}
 	if componentSize >= opts.JacobiThreshold && opts.Workers > 1 {
+		return SweepJacobi
+	}
+	if componentSize >= opts.JacobiThreshold*jacobiSoloFactor {
 		return SweepJacobi
 	}
 	return SweepGaussSeidel
@@ -179,17 +224,37 @@ func resolveSweep(opts SolveOptions, componentSize int) Sweep {
 // usual case for models with a start-up transient); probability then
 // concentrates on that component.
 func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
+	pi, _, err := c.steadyStateStats(opts)
+	return pi, err
+}
+
+// solveStats summarizes a converged solve for the trace: the scheme that
+// actually ran (after auto resolution, fallback, and the multilevel
+// upgrade), the fine-level sweep count, the multilevel cycle count (0 for
+// plain sweeps), and the final residual.
+type solveStats struct {
+	Sweep      Sweep
+	Iterations int
+	Cycles     int
+	Residual   float64
+}
+
+// steadyStateStats is SteadyState plus the solve statistics of the
+// successful attempt (SteadyStateTraced records them in the trace).
+func (c *CTMC) steadyStateStats(opts SolveOptions) ([]float64, solveStats, error) {
+	var st solveStats
 	opts = solveDefaults(opts)
 	plan, err := c.ensurePlan()
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 
 	// An absorbing single state gets all the probability.
 	pi := make([]float64, c.N)
 	if len(plan.target) == 1 {
 		pi[plan.target[0]] = 1
-		return pi, nil
+		st.Sweep = SweepGaussSeidel
+		return pi, st, nil
 	}
 
 	comp := c.fillComponent(plan)
@@ -199,25 +264,45 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 			start = ws
 		}
 	}
+	sweep := resolveSweep(opts, len(plan.target))
+	if opts.Sweep == SweepAuto && comp.n >= multilevelAutoMin && comp.stalledGS(opts, start) {
+		// Rule 3 of the SweepAuto docs: stalled residual decay means the
+		// plain sweeps would crawl toward the budget; the multilevel outer
+		// loop attacks exactly that regime. The probe ran on a copy, so
+		// the non-stalled path below computes pre-probe floats.
+		sweep = SweepMultilevel
+	}
 	var x []float64
-	if resolveSweep(opts, len(plan.target)) == SweepJacobi {
-		x, err = comp.jacobi(opts, start)
+	switch sweep {
+	case SweepMultilevel:
+		x, st, err = comp.multilevel(opts, start, c.ensureCoarse(plan))
+	case SweepJacobi:
+		x, st, err = comp.jacobi(opts, start)
 		if err != nil && opts.Sweep == SweepAuto && errors.Is(err, ErrNoConvergence) {
 			// Auto mode falls back to the sequential sweep: Gauss-Seidel's
 			// sequential substitution converges on chains where even the
 			// damped simultaneous update crawls.
-			x, err = comp.gaussSeidel(opts, start)
+			x, st, err = comp.gaussSeidel(opts, start)
 		}
-	} else {
-		x, err = comp.gaussSeidel(opts, start)
+	default:
+		x, st, err = comp.gaussSeidel(opts, start)
+	}
+	if err != nil && opts.Sweep == SweepAuto && sweep != SweepMultilevel &&
+		comp.n >= multilevelAutoMin && errors.Is(err, ErrNoConvergence) {
+		// The stall probe is a 24-sweep heuristic: a chain whose slow mode
+		// only emerges after the probe window exhausts the plain scheme's
+		// budget anyway, so auto mode retries it with the multilevel cycle
+		// from the original start — auto is never worse than the plain
+		// sweeps for the price of one extra attempt on failures.
+		x, st, err = comp.multilevel(opts, start, c.ensureCoarse(plan))
 	}
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	for j, s := range plan.target {
 		pi[s] = x[j]
 	}
-	return pi, nil
+	return pi, st, nil
 }
 
 // component is the recurrent component in local coordinates: the balance
@@ -288,6 +373,15 @@ type solvePlan struct {
 	// inStart, inFrom) for the debug assertion that a rate-only rebind
 	// left the structure untouched.
 	hash uint64
+
+	// coarse is the multilevel solver's cached coarse operator (see
+	// multilevel.go), built lazily on first multilevel solve: the
+	// coarsening partition is a pure function of the built structure and
+	// the canonical-point rates, so — like the rest of the plan — it is
+	// shared by every clone and survives rate-only Rebinds, which
+	// re-aggregate rates through coarsePlan.cell in O(edges).
+	coarseOnce sync.Once
+	coarse     *coarsePlan
 }
 
 // ensurePlan returns the chain's cached solve plan, computing it on first
@@ -526,13 +620,62 @@ func cancelChan(ctx context.Context) <-chan struct{} {
 	return ctx.Done()
 }
 
+// gsSweepOnce performs one in-place Gauss-Seidel sweep over the component
+// and returns the sweep's guarded max relative change — the solo
+// gaussSeidel inner loop verbatim, factored out so the multilevel
+// smoother and the stall probe run the identical floating-point sequence.
+func (p *component) gsSweepOnce(x []float64, omega float64) float64 {
+	maxDelta := 0.0
+	for j := 0; j < p.n; j++ {
+		if p.exit[j] <= 0 {
+			continue
+		}
+		inflow := 0.0
+		for k := p.inStart[j]; k < p.inStart[j+1]; k++ {
+			inflow += x[p.inFrom[k]] * p.inRate[k]
+		}
+		next := inflow * p.invExit[j]
+		if omega != 1 {
+			next = (1-omega)*x[j] + omega*next
+		}
+		d := math.Abs(next - x[j])
+		if m := math.Max(next, 1e-300); d > maxDelta*m*residualGuard {
+			if rel := d / m; rel > maxDelta {
+				maxDelta = rel
+			}
+		}
+		x[j] = next
+	}
+	return maxDelta
+}
+
+// sumNormalize rescales x to sum 1 with the canonical sequence — one
+// sequential sum, one reciprocal, one multiply pass — and reports whether
+// the mass was positive (false leaves x untouched and means the iteration
+// collapsed).
+func sumNormalize(x []float64) bool {
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	if sum <= 0 {
+		return false
+	}
+	inv := 1 / sum
+	for j := range x {
+		x[j] *= inv
+	}
+	return true
+}
+
 // gaussSeidel runs the sequential Gauss-Seidel sweep from the given
 // starting vector: each row update reads the in-place vector, so updates
 // within a sweep feed forward. A non-default opts.Omega damps the update;
 // at the default ω = 1 the plain update is taken on a branch that
 // performs no extra floating-point operation, so results are bit-for-bit
 // those of the undamped sweep.
-func (p *component) gaussSeidel(opts SolveOptions, start []float64) ([]float64, error) {
+func (p *component) gaussSeidel(opts SolveOptions, start []float64) ([]float64, solveStats, error) {
+	var st solveStats
 	x := append([]float64(nil), start...)
 	omega := opts.Omega
 	if omega == 0 {
@@ -542,47 +685,19 @@ func (p *component) gaussSeidel(opts SolveOptions, start []float64) ([]float64, 
 	maxDelta := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if err := pollSolve(opts.Ctx, done, iter); err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		maxDelta = 0.0
-		for j := 0; j < p.n; j++ {
-			if p.exit[j] <= 0 {
-				continue
-			}
-			inflow := 0.0
-			for k := p.inStart[j]; k < p.inStart[j+1]; k++ {
-				inflow += x[p.inFrom[k]] * p.inRate[k]
-			}
-			next := inflow * p.invExit[j]
-			if omega != 1 {
-				next = (1-omega)*x[j] + omega*next
-			}
-			d := math.Abs(next - x[j])
-			if m := math.Max(next, 1e-300); d > maxDelta*m*residualGuard {
-				if rel := d / m; rel > maxDelta {
-					maxDelta = rel
-				}
-			}
-			x[j] = next
-		}
+		maxDelta = p.gsSweepOnce(x, omega)
 		// Normalize to avoid drift: one canonical sequential sum, one
 		// reciprocal, one multiply pass.
-		sum := 0.0
-		for _, v := range x {
-			sum += v
-		}
-		if sum <= 0 {
-			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel, Point: -1}
-		}
-		inv := 1 / sum
-		for j := range x {
-			x[j] *= inv
+		if !sumNormalize(x) {
+			return nil, st, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel, Point: -1}
 		}
 		if maxDelta < opts.Tolerance {
-			return x, nil
+			return x, solveStats{Sweep: SweepGaussSeidel, Iterations: iter + 1, Residual: maxDelta}, nil
 		}
 	}
-	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel, Point: -1}
+	return nil, st, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepGaussSeidel, Point: -1}
 }
 
 // jacobiOmega damps the Jacobi update: x' = (1-ω)·x + ω·inflow/exit.
@@ -599,7 +714,8 @@ const jacobiOmega = 0.5
 // owns the row, maxDelta is an order-independent max-reduction over
 // per-block maxima, and the normalization sum is one canonical sequential
 // pass — the iterate is bit-identical at any worker count.
-func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error) {
+func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, solveStats, error) {
+	var st solveStats
 	x := append([]float64(nil), start...)
 	next := make([]float64, p.n)
 	omega := opts.Omega
@@ -691,7 +807,7 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 	maxDelta := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if err := pollSolve(opts.Ctx, done2, iter); err != nil {
-			return nil, err
+			return nil, st, err
 		}
 		if nblocks > 1 {
 			for b := 0; b < nblocks; b++ {
@@ -704,7 +820,7 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 			runBlock(0, 0)
 		}
 		if panicErr != nil {
-			return nil, panicErr
+			return nil, st, panicErr
 		}
 		maxDelta = 0.0
 		for _, d := range blockDelta {
@@ -718,7 +834,7 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 			sum += v
 		}
 		if sum <= 0 {
-			return nil, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi, Point: -1}
+			return nil, st, &ConvergenceError{Iterations: iter + 1, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi, Point: -1}
 		}
 		inv := 1 / sum
 		for j := range next {
@@ -726,10 +842,10 @@ func (p *component) jacobi(opts SolveOptions, start []float64) ([]float64, error
 		}
 		x, next = next, x
 		if maxDelta < opts.Tolerance {
-			return x, nil
+			return x, solveStats{Sweep: SweepJacobi, Iterations: iter + 1, Residual: maxDelta}, nil
 		}
 	}
-	return nil, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi, Point: -1}
+	return nil, st, &ConvergenceError{Iterations: opts.MaxIterations, Residual: maxDelta, Tolerance: opts.Tolerance, Sweep: SweepJacobi, Point: -1}
 }
 
 // reachableFromInitial returns the set of tangible states reachable from

@@ -23,10 +23,14 @@ type Phase2Report struct {
 	Values map[string]float64
 	// States, Tangible and Vanishing size the state space and the chain.
 	States, Tangible, Vanishing int
-	// Trace records the solver's escalation history for this point, when
-	// the sweep ran with ctmc.EscalateLadder and the base configuration
-	// did not converge; nil when the base attempt sufficed. An escalated
-	// result is therefore always flagged, never silent.
+	// Trace records the solver's attempt history for this point: the base
+	// attempt's resolved scheme, iterations/cycles, and residual, plus
+	// every escalation rung when the sweep ran with ctmc.EscalateLadder
+	// and the base configuration did not converge. Sweep-point reports
+	// carry a trace only for escalated points (nil when the base attempt
+	// sufficed); Phase2 reports always carry the base attempt, so the
+	// scheme an auto solve actually ran — including a stall-probe upgrade
+	// to multilevel — is observable (dpmassess solve -stats prints it).
 	Trace *ctmc.SolveTrace
 }
 

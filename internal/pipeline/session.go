@@ -305,7 +305,7 @@ func (s *Session) Phase2() (*Phase2Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pi, err := chain.SteadyState(s.solveOptions())
+		pi, trace, err := chain.SteadyStateTraced(s.solveOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -318,6 +318,7 @@ func (s *Session) Phase2() (*Phase2Report, error) {
 			States:    l.NumStates,
 			Tangible:  chain.N,
 			Vanishing: chain.NumVanishing(),
+			Trace:     trace,
 		}
 		if s.cfg.Store != nil {
 			s.cfg.Store.Put(key, rep)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/aemilia"
+	"repro/internal/ctmc"
 	"repro/internal/lts"
 	"repro/internal/models"
 	"repro/internal/pipeline"
@@ -230,5 +231,11 @@ func TestSpecHashIgnoresScheduling(t *testing.T) {
 	pred.Gen.Predicates = append(pred.Gen.Predicates, lts.StatePred{Instance: "X", Action: "y"})
 	if base.Hash() == pred.Hash() {
 		t.Fatalf("generation predicates did not change the spec hash")
+	}
+
+	ml := base
+	ml.Solve.Sweep = ctmc.SweepMultilevel
+	if base.Hash() == ml.Hash() {
+		t.Fatalf("multilevel sweep mode did not change the spec hash")
 	}
 }

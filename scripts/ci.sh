@@ -56,6 +56,18 @@ echo "== session race smoke (-cpu 1,2) =="
 go test -timeout 10m -race -cpu 1,2 \
     -run 'SessionSingleFlight|ManagerReuses|StoreHit' ./internal/pipeline/
 
+# Multilevel solver smoke under the race detector at -cpu 1,2: the
+# aggregation/disaggregation cycle, its stalled-decay auto-selection, the
+# worker/lane bit-identity properties, the coarse-solve fault-injection
+# site, and cancellation mid-cycle (the TestMultilevel* properties in
+# internal/ctmc), on both the degenerate and a two-core schedule. The
+# fault-injection smoke above already hits the Panic/Cancel subset; this
+# run adds the convergence and identity properties under -race, where a
+# data race between the shared coarse-plan cache (solvePlan.coarseOnce)
+# and concurrent lane solves would surface.
+echo "== multilevel race smoke (-cpu 1,2) =="
+go test -timeout 10m -race -cpu 1,2 -run 'Multilevel' ./internal/ctmc/
+
 # Benchmark smoke run: one iteration of every benchmark, so a benchmark
 # that no longer compiles or panics fails CI without costing bench time.
 echo "== bench smoke =="
@@ -69,8 +81,11 @@ go test -timeout 10m -run '^$' -bench . -benchtime 1x ./...
 # Only the Batched variants of the BatchSolve benches run here: the
 # per-point variants exercise the solo solver, which the SteadyState
 # patterns already race-test, so rerunning them would only add race-
-# instrumented minutes without new coverage.
+# instrumented minutes without new coverage. Of the Multilevel benches,
+# only the multilevel-scheme ε pair runs: the Gauss-Seidel/Jacobi
+# reference sides grind for hundreds of thousands of race-instrumented
+# sweeps to measure work the timing modes already report.
 echo "== bench race smoke (-cpu 1,2) =="
-scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)|SweepReuse|BatchSolve(RPC|Streaming)Batched'
+scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)|SweepReuse|BatchSolve(RPC|Streaming)Batched|MultilevelEps(Multilevel|BatchedMultilevel)'
 
 echo "CI OK"
