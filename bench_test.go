@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/aemilia"
 	"repro/internal/bisim"
+	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/elab"
@@ -23,11 +24,19 @@ import (
 	"repro/internal/sim"
 )
 
+// benchRunner builds a fresh experiment runner with a default Config —
+// one per op, matching the cold-start behaviour the deprecated
+// package-level experiments entry points had, so the figure benchmarks
+// keep measuring the full pipeline rather than a staged session.
+func benchRunner() *experiments.Runner {
+	return experiments.NewRunner(pipeline.Config{})
+}
+
 // --- Sect. 3: noninterference results ---
 
 func BenchmarkNoninterferenceRPCSimplified(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RPCNoninterferenceSimplified()
+		res, err := benchRunner().RPCNoninterferenceSimplified()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -39,7 +48,7 @@ func BenchmarkNoninterferenceRPCSimplified(b *testing.B) {
 
 func BenchmarkNoninterferenceRPCRevised(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RPCNoninterferenceRevised()
+		res, err := benchRunner().RPCNoninterferenceRevised()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +60,7 @@ func BenchmarkNoninterferenceRPCRevised(b *testing.B) {
 
 func BenchmarkNoninterferenceStreaming(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.StreamingNoninterference(experiments.Quick)
+		res, err := benchRunner().StreamingNoninterference(experiments.Quick)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +74,7 @@ func BenchmarkNoninterferenceStreaming(b *testing.B) {
 
 func BenchmarkFig3Markov(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig3Markov([]float64{0.5, 5, 25}); err != nil {
+		if _, err := benchRunner().Fig3Markov([]float64{0.5, 5, 25}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -74,7 +83,7 @@ func BenchmarkFig3Markov(b *testing.B) {
 func BenchmarkFig3General(b *testing.B) {
 	settings := core.SimSettings{RunLength: 2000, Replications: 4}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig3General([]float64{2, 10, 20}, settings); err != nil {
+		if _, err := benchRunner().Fig3General([]float64{2, 10, 20}, settings); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -84,7 +93,7 @@ func BenchmarkFig3General(b *testing.B) {
 
 func BenchmarkFig4Markov(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4Markov([]float64{50, 400}, experiments.Quick); err != nil {
+		if _, err := benchRunner().Fig4Markov([]float64{50, 400}, experiments.Quick); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +104,7 @@ func BenchmarkFig4Markov(b *testing.B) {
 func BenchmarkFig5Validation(b *testing.B) {
 	settings := core.SimSettings{RunLength: 2000, Replications: 5}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig5Validation([]float64{5}, settings); err != nil {
+		if _, err := benchRunner().Fig5Validation([]float64{5}, settings); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,7 +115,7 @@ func BenchmarkFig5Validation(b *testing.B) {
 func BenchmarkFig6General(b *testing.B) {
 	settings := core.SimSettings{RunLength: 20000, Warmup: 5000, Replications: 3}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6General([]float64{100}, experiments.Quick, settings); err != nil {
+		if _, err := benchRunner().Fig6General([]float64{100}, experiments.Quick, settings); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -117,7 +126,7 @@ func BenchmarkFig6General(b *testing.B) {
 func BenchmarkFig7Tradeoff(b *testing.B) {
 	settings := core.SimSettings{RunLength: 2000, Replications: 4}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7Tradeoff([]float64{1, 10, 20}, settings); err != nil {
+		if _, err := benchRunner().Fig7Tradeoff([]float64{1, 10, 20}, settings); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -126,7 +135,7 @@ func BenchmarkFig7Tradeoff(b *testing.B) {
 func BenchmarkFig8Tradeoff(b *testing.B) {
 	settings := core.SimSettings{RunLength: 20000, Warmup: 5000, Replications: 3}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig8Tradeoff([]float64{100, 400}, experiments.Quick, settings); err != nil {
+		if _, err := benchRunner().Fig8Tradeoff([]float64{100, 400}, experiments.Quick, settings); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -276,7 +285,7 @@ func BenchmarkSimulatorEvents(b *testing.B) {
 // timeout vs predictive vs none) on the Markovian rpc model.
 func BenchmarkPolicyComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.PolicyComparison(5); err != nil {
+		if _, err := benchRunner().PolicyComparison(5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -286,7 +295,7 @@ func BenchmarkPolicyComparison(b *testing.B) {
 // (uniformization-based cumulative rewards) across all policies.
 func BenchmarkBatteryLifetime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.BatteryLifetime(1000, 5, 20); err != nil {
+		if _, err := benchRunner().BatteryLifetime(1000, 5, 20); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -296,7 +305,7 @@ func BenchmarkBatteryLifetime(b *testing.B) {
 // extension (incremental uniformization on the Quick-scale chain).
 func BenchmarkStartupTransient(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.StreamingStartupTransient(
+		if _, err := benchRunner().StreamingStartupTransient(
 			[]float64{100, 500, 2000}, 100, experiments.Quick); err != nil {
 			b.Fatal(err)
 		}
@@ -315,7 +324,7 @@ func BenchmarkStartupTransient(b *testing.B) {
 func benchFig3General(b *testing.B, workers int) {
 	settings := core.SimSettings{RunLength: 2000, Replications: 8, Workers: workers}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig3General([]float64{2, 5, 10, 15, 20, 25}, settings); err != nil {
+		if _, err := benchRunner().Fig3General([]float64{2, 5, 10, 15, 20, 25}, settings); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -325,11 +334,9 @@ func BenchmarkFig3GeneralSequential(b *testing.B) { benchFig3General(b, 1) }
 func BenchmarkFig3GeneralParallel(b *testing.B)   { benchFig3General(b, runtime.NumCPU()) }
 
 func benchFig4Markov(b *testing.B, workers int) {
-	old := experiments.DefaultWorkers
-	experiments.DefaultWorkers = workers
-	defer func() { experiments.DefaultWorkers = old }()
+	cfg := pipeline.Config{Workers: workers}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4Markov([]float64{50, 100, 200, 400, 800}, experiments.Quick); err != nil {
+		if _, err := experiments.NewRunner(cfg).Fig4Markov([]float64{50, 100, 200, 400, 800}, experiments.Quick); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -897,4 +904,111 @@ func BenchmarkMultilevelEpsBatchedGaussSeidel(b *testing.B) {
 
 func BenchmarkMultilevelEpsBatchedMultilevel(b *testing.B) {
 	benchEpsBatched(b, ctmc.SweepMultilevel)
+}
+
+// --- Ablation: compositional minimization (compose quotient + fold) ---
+
+// benchComposeModel elaborates one of the paper models for the Compose
+// bench family. scale multiplies the streaming buffer capacities, so
+// scale=10 is the 10×-buffer variant whose full product is the stress
+// case compositional minimization exists for.
+func benchComposeModel(b *testing.B, name string, scale int64) *elab.Model {
+	b.Helper()
+	var (
+		a   *aemilia.ArchiType
+		err error
+	)
+	switch name {
+	case "rpc":
+		a, err = models.BuildRPCRevised(models.DefaultRPCParams())
+	case "streaming":
+		p := models.DefaultStreamingParams()
+		p.APCapacity *= scale
+		p.ClientCapacity *= scale
+		a, err = models.BuildStreaming(p)
+	default:
+		b.Fatalf("unknown compose bench model %q", name)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := elab.Elaborate(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// benchComposeFull measures the baseline: generating the plain parallel
+// product. The composed state/edge counts are reported as metrics so
+// bench_compare.sh -C can record the reduction next to the wall-clock
+// delta.
+func benchComposeFull(b *testing.B, name string, scale int64, maxStates int) {
+	m := benchComposeModel(b, name, scale)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var states, edges int
+	for i := 0; i < b.N; i++ {
+		l, err := lts.Generate(m, lts.GenerateOptions{MaxStates: maxStates})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states, edges = l.NumStates, l.NumTransitions()
+	}
+	b.ReportMetric(float64(states), "states/op")
+	b.ReportMetric(float64(edges), "edges/op")
+}
+
+// benchComposeMinimized measures the replacement path end to end: lump
+// every component, then generate from the quotient with vanishing-state
+// folding — the work an analysis actually does instead of the full
+// composition.
+func benchComposeMinimized(b *testing.B, name string, scale int64, maxStates int) {
+	m := benchComposeModel(b, name, scale)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var states, edges int
+	for i := 0; i < b.N; i++ {
+		qm, _, err := compose.Minimize(m, compose.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := lts.Generate(qm, lts.GenerateOptions{MaxStates: maxStates, Fold: &lts.FoldOptions{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states, edges = l.NumStates, l.NumTransitions()
+	}
+	b.ReportMetric(float64(states), "states/op")
+	b.ReportMetric(float64(edges), "edges/op")
+}
+
+func BenchmarkComposeRPCFull(b *testing.B)      { benchComposeFull(b, "rpc", 1, 0) }
+func BenchmarkComposeRPCMinimized(b *testing.B) { benchComposeMinimized(b, "rpc", 1, 0) }
+
+func BenchmarkComposeStreamingFull(b *testing.B)      { benchComposeFull(b, "streaming", 1, 0) }
+func BenchmarkComposeStreamingMinimized(b *testing.B) { benchComposeMinimized(b, "streaming", 1, 0) }
+
+// The 10×-buffer variant (AP and client buffers at 100 frames) is the
+// case where the full product no longer fits the default generation
+// budget: its bound must be raised to ~8M states, while the minimized
+// path stays comfortably inside the default.
+func BenchmarkComposeStreaming10xFull(b *testing.B) {
+	skipIfShort(b)
+	benchComposeFull(b, "streaming", 10, 8_000_000)
+}
+
+func BenchmarkComposeStreaming10xMinimized(b *testing.B) {
+	skipIfShort(b)
+	benchComposeMinimized(b, "streaming", 10, 8_000_000)
+}
+
+// skipIfShort keeps the 10×-buffer pair out of -short smoke runs: one
+// full-product generation alone is minutes of work, which is bench_compare
+// -C territory, not a compile-and-panic check.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping multi-minute composition bench in -short mode")
+	}
 }

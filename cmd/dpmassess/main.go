@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	dpmassess lts      [-dot out.dot] [-max N] [-workers N] model.aem
+//	dpmassess lts      [-dot out.dot] [-max N] [-compose full|minimize] [-stats]
+//	                   [-workers N] model.aem
 //	dpmassess check    -high INST -low INST [-high-labels l1,l2] [-workers N] model.aem
 //	dpmassess solve    -measures spec.msr [-sweep auto|gauss-seidel|jacobi|multilevel]
-//	                   [-stats] [-lanes K] [-checkpoint file.ckpt] [-resume]
-//	                   [-workers N] model.aem
+//	                   [-compose full|minimize] [-stats] [-lanes K]
+//	                   [-checkpoint file.ckpt] [-resume] [-workers N] model.aem
 //	dpmassess sim      -measures spec.msr [-runlength T] [-warmup T]
 //	                   [-reps N] [-seed S] [-workers N] model.aem
 //	dpmassess equiv    [-relation strong|weak|markovian] [-workers N] a.aem b.aem
@@ -20,6 +21,13 @@
 // also takes -timeout: an overall deadline after which generation, solves
 // and simulations are canceled promptly (reported as a cancellation error
 // naming the phase that observed it).
+//
+// lts and solve take -compose: "full" (the default) generates the plain
+// parallel product, "minimize" lumps each component before composition
+// and folds vanishing states during generation, so the full product never
+// materializes. Measure values are identical either way; state counts are
+// not, because minimization is the point. sim always runs on the full
+// model — minimization accelerates the Markovian path only.
 //
 // The solve subcommand is resumable on models with rate parameters:
 // -checkpoint periodically saves the solver's progress to a versioned,
@@ -47,6 +55,7 @@ import (
 
 	"repro/internal/aemilia/parser"
 	"repro/internal/bisim"
+	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/elab"
@@ -256,6 +265,55 @@ func workersFlag(fs *flag.FlagSet) *int {
 		"state-space generation workers (outputs are identical at any value)")
 }
 
+// composeFlag registers the shared -compose flag: the composition
+// strategy of the state-space-building subcommands.
+func composeFlag(fs *flag.FlagSet) *string {
+	return fs.String("compose", "full",
+		"composition strategy: full generates the plain parallel product,\n"+
+			"minimize lumps each component before composition and folds vanishing\n"+
+			"states during generation (measure values are identical either way)")
+}
+
+// parseCompose maps the -compose value onto the minimize policy.
+func parseCompose(mode string) (minimize bool, err error) {
+	switch mode {
+	case "full":
+		return false, nil
+	case "minimize":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown -compose mode %q (want full or minimize)", mode)
+	}
+}
+
+// printMemStats renders the resident-memory breakdown of a generated
+// state space: the interned state table, the CSR transition arrays, and
+// the fold-attribution pool.
+func printMemStats(l *lts.LTS) {
+	stateTable, csrBytes, auxBytes := l.MemStats()
+	fmt.Printf("memory:      state table %s, transitions %s, attribution %s\n",
+		fmtBytes(stateTable), fmtBytes(csrBytes), fmtBytes(auxBytes))
+}
+
+// fmtBytes renders a byte count at a human scale.
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// printComposeStats renders the per-component reduction of a
+// compositional minimization, with the worst-case product bound it
+// implies.
+func printComposeStats(st *compose.Stats) {
+	full, minimized := st.ProductBound()
+	fmt.Printf("compose:     %s (product bound %.4g → %.4g)\n", st, full, minimized)
+}
+
 // timeoutFlag registers the shared -timeout flag: the subcommand's
 // overall deadline.
 func timeoutFlag(fs *flag.FlagSet) *time.Duration {
@@ -362,6 +420,11 @@ func runLTS(args []string) error {
 	dotPath := fs.String("dot", "", "write the state space in Graphviz DOT format")
 	autPath := fs.String("aut", "", "write the state space in Aldebaran (CADP) format")
 	maxStates := fs.Int("max", 0, "abort beyond this many states (0 = default bound)")
+	composeMode := composeFlag(fs)
+	stats := fs.Bool("stats", false,
+		"print resident-memory statistics (state table, transition arrays,\n"+
+			"attribution pool) and, with -compose minimize, the per-component\n"+
+			"reduction")
 	workers := workersFlag(fs)
 	timeout := timeoutFlag(fs)
 	prof := profileFlags(fs)
@@ -379,16 +442,30 @@ func runLTS(args []string) error {
 	if err != nil {
 		return err
 	}
+	minimize, err := parseCompose(*composeMode)
+	if err != nil {
+		return err
+	}
 	m, err := loadModel(path)
 	if err != nil {
 		return err
 	}
-	l, err := lts.Generate(m, lts.GenerateOptions{
+	genOpts := lts.GenerateOptions{
 		MaxStates:        *maxStates,
 		KeepDescriptions: *dotPath != "",
 		GenWorkers:       *workers,
 		Ctx:              ctx,
-	})
+	}
+	var compStats *compose.Stats
+	if minimize {
+		qm, st, err := compose.Minimize(m, compose.Options{})
+		if err != nil {
+			return err
+		}
+		m, compStats = qm, st
+		genOpts.Fold = &lts.FoldOptions{}
+	}
+	l, err := lts.Generate(m, genOpts)
 	if err != nil {
 		return err
 	}
@@ -397,6 +474,12 @@ func runLTS(args []string) error {
 	fmt.Printf("labels:      %d\n", l.NumLabels())
 	if dl := l.Deadlocks(); len(dl) > 0 {
 		fmt.Printf("deadlocks:   %d\n", len(dl))
+	}
+	if *stats {
+		printMemStats(l)
+		if compStats != nil {
+			printComposeStats(compStats)
+		}
 	}
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)
@@ -496,10 +579,12 @@ func runSolve(args []string) error {
 	sweepName := fs.String("sweep", "auto",
 		"steady-state sweep mode: auto, gauss-seidel, jacobi, or multilevel\n"+
 			"(two-level aggregation/disaggregation for slow-mixing chains)")
+	composeMode := composeFlag(fs)
 	stats := fs.Bool("stats", false,
-		"print solver statistics after the measures: the scheme that actually\n"+
-			"ran, iterations (and multilevel cycles), final residual, and every\n"+
-			"escalation attempt")
+		"print statistics after the measures: resident memory of the state\n"+
+			"space, the per-component reduction (with -compose minimize), and the\n"+
+			"solver trace — the scheme that actually ran, iterations (and\n"+
+			"multilevel cycles), final residual, and every escalation attempt")
 	lanes := fs.Int("lanes", 0,
 		"sweep points solved per batched steady-state call on checkpointed solves:\n"+
 			"0 auto-selects, 1 forces the per-point solver (results are identical at\n"+
@@ -546,6 +631,10 @@ func runSolve(args []string) error {
 	default:
 		return fmt.Errorf("unknown sweep mode %q", *sweepName)
 	}
+	minimize, err := parseCompose(*composeMode)
+	if err != nil {
+		return err
+	}
 	ms, err := readMeasures(*measuresPath)
 	if err != nil {
 		return err
@@ -561,6 +650,7 @@ func runSolve(args []string) error {
 		Model:    m,
 		Measures: ms,
 		Gen:      lts.GenerateOptions{GenWorkers: *workers, Ctx: ctx},
+		Minimize: minimize,
 		Solve:    ctmc.SolveOptions{Sweep: sweep, Workers: *workers, Ctx: ctx},
 	}, pipeline.Config{Workers: *workers, LaneWidth: *lanes, Ctx: ctx})
 	var rep *core.Phase2Report
@@ -595,6 +685,12 @@ func runSolve(args []string) error {
 		fmt.Printf("%-24s %.8g\n", m.Name, rep.Values[m.Name])
 	}
 	if *stats {
+		if l, err := s.LTS(); err == nil {
+			printMemStats(l)
+		}
+		if st, err := s.MinimizeStats(); err == nil && st != nil {
+			printComposeStats(st)
+		}
 		printSolveTrace(rep.Trace)
 	}
 	return nil
@@ -631,6 +727,7 @@ func runSim(args []string) error {
 	reps := fs.Int("reps", 30, "independent replications")
 	seed := fs.Uint64("seed", 1, "master random seed")
 	level := fs.Float64("confidence", 0.90, "confidence level")
+	composeMode := composeFlag(fs)
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"concurrent replications (estimates are identical at any value)")
 	timeout := timeoutFlag(fs)
@@ -651,6 +748,13 @@ func runSim(args []string) error {
 	}
 	if *measuresPath == "" {
 		return fmt.Errorf("-measures is required")
+	}
+	if minimize, err := parseCompose(*composeMode); err != nil {
+		return err
+	} else if minimize {
+		// Accepted for interface uniformity with lts/solve: simulation
+		// always walks the full model, so there is nothing to minimize.
+		fmt.Fprintln(os.Stderr, "dpmassess: sim always runs on the full model; -compose minimize has no effect")
 	}
 	ms, err := readMeasures(*measuresPath)
 	if err != nil {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	streamingstudy [-experiment all|sect3|fig4|fig6|fig8] [-csv] [-quick]
-//	               [-workers N] [-lanes K]
+//	               [-compose full|minimize] [-workers N] [-lanes K]
 //	               [-timeout D] [-checkpoint DIR] [-resume]
 package main
 
@@ -34,6 +34,11 @@ func run(args []string) error {
 	experiment := fs.String("experiment", "all", "which experiment to run (all, sect3, fig4, fig6, fig8, transient)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	quick := fs.Bool("quick", false, "small buffers and shorter simulations (smoke run)")
+	composeMode := fs.String("compose", "full",
+		"composition strategy for the Markovian analyses: full generates the\n"+
+			"plain parallel product, minimize lumps each component before\n"+
+			"composition and folds vanishing states during generation (measure\n"+
+			"values are identical either way)")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"concurrent sweep points, simulation replications, state-space generation\n"+
 			"workers, and steady-state solver workers (results are identical at any value)")
@@ -58,6 +63,13 @@ func run(args []string) error {
 		Workers:   *workers,
 		LaneWidth: *lanes,
 		Store:     pipeline.NewMemoryStore(),
+	}
+	switch *composeMode {
+	case "full":
+	case "minimize":
+		cfg.Minimize = true
+	default:
+		return fmt.Errorf("unknown -compose mode %q (want full or minimize)", *composeMode)
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

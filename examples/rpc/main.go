@@ -17,6 +17,7 @@ import (
 	"repro/internal/lts"
 	"repro/internal/models"
 	"repro/internal/noninterference"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -60,8 +61,11 @@ func run() error {
 		rep1b.Result.Transparent)
 
 	// --- Phase 2: Markovian comparison (Fig. 3 left) -------------------
+	// One runner drives every sweep below: its Config is the injected
+	// environment (workers, lane width, stores), here the defaults.
+	study := experiments.NewRunner(pipeline.Config{})
 	fmt.Println("Phase 2 — Markovian comparison (Fig. 3, left)")
-	pts, err := experiments.Fig3Markov([]float64{0, 1, 5, 10, 25})
+	pts, err := study.Fig3Markov([]float64{0, 1, 5, 10, 25})
 	if err != nil {
 		return err
 	}
@@ -70,7 +74,7 @@ func run() error {
 
 	// --- Phase 3a: validation (Fig. 5) ---------------------------------
 	fmt.Println("Phase 3 — validating the general model (Fig. 5)")
-	val, err := experiments.Fig5Validation([]float64{5, 15},
+	val, err := study.Fig5Validation([]float64{5, 15},
 		core.SimSettings{RunLength: 10000, Replications: 15})
 	if err != nil {
 		return err
@@ -80,7 +84,7 @@ func run() error {
 
 	// --- Phase 3b: the realistic general model (Fig. 3 right) ----------
 	fmt.Println("Phase 3 — general model with deterministic timings (Fig. 3, right)")
-	gpts, err := experiments.Fig3General([]float64{0, 2, 5, 8, 10, 12, 15, 25},
+	gpts, err := study.Fig3General([]float64{0, 2, 5, 8, 10, 12, 15, 25},
 		core.SimSettings{RunLength: 8000, Replications: 10})
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -22,15 +23,18 @@ func main() {
 }
 
 func run() error {
+	// One runner drives the whole walkthrough: its Config is the injected
+	// environment (workers, lane width, stores), here the defaults.
+	study := experiments.NewRunner(pipeline.Config{})
 	fmt.Println("Phase 1 — noninterference analysis (Sect. 3.2)")
-	res, err := experiments.StreamingNoninterference(experiments.Quick)
+	res, err := study.StreamingNoninterference(experiments.Quick)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("  streaming model (%d states): transparent=%t\n\n", res.States, res.Transparent)
 
 	fmt.Println("Phase 2 — Markovian comparison (Fig. 4)")
-	pts, err := experiments.Fig4Markov([]float64{10, 50, 100, 200, 400, 800}, experiments.Full)
+	pts, err := study.Fig4Markov([]float64{10, 50, 100, 200, 400, 800}, experiments.Full)
 	if err != nil {
 		return err
 	}
@@ -39,7 +43,7 @@ func run() error {
 
 	fmt.Println("Phase 3 — general model: CBR video, deterministic PSP, deadlines (Fig. 6)")
 	settings := core.SimSettings{RunLength: 120000, Warmup: 40000, Replications: 10}
-	gpts, err := experiments.Fig6General([]float64{25, 50, 100, 200, 400, 800},
+	gpts, err := study.Fig6General([]float64{25, 50, 100, 200, 400, 800},
 		experiments.Full, settings)
 	if err != nil {
 		return err

@@ -25,11 +25,32 @@ func (c *CTMC) StateReward(pi []float64, reward func(ltsState int) float64) floa
 // exponential and immediate transitions are supported: the frequency of an
 // immediate transition is derived from the entry rate of its vanishing
 // source state, propagated through the immediate branching probabilities.
+// Transitions that the generator folded away (compositional minimization)
+// are accounted for through the reward attributions it left on the
+// redirected edges: a folded label fires at the edge's frequency times its
+// recorded expected traversal count, so the result matches the unfolded
+// system.
 func (c *CTMC) Throughput(pi []float64, match func(label string) bool, weight func(label string) float64) float64 {
 	if weight == nil {
 		weight = func(string) float64 { return 1 }
 	}
 	total := 0.0
+
+	// foldedAt adds the attributed frequencies of labels folded into the
+	// edge at global LTS index ltsTrans, which fires at the given rate.
+	foldedAt := func(ltsTrans int, fire float64) {
+		a := c.l.EdgeAux(ltsTrans)
+		if a == 0 {
+			return
+		}
+		labels, counts := c.l.AuxTerms(a)
+		for i, li := range labels {
+			label := c.l.LabelName(int(li))
+			if match(label) {
+				total += fire * counts[i] * weight(label)
+			}
+		}
+	}
 
 	// Exponential transitions fire at pi(src)·lambda.
 	// Also accumulate the entry rates of vanishing states.
@@ -43,6 +64,7 @@ func (c *CTMC) Throughput(pi []float64, match func(label string) bool, weight fu
 		if match(label) {
 			total += p * e.rate * weight(label)
 		}
+		foldedAt(e.ltsTrans, p*e.rate)
 		if vp := c.vanPos[e.dst]; vp >= 0 {
 			entry[vp] += p * e.rate
 		}
@@ -59,6 +81,7 @@ func (c *CTMC) Throughput(pi []float64, match func(label string) bool, weight fu
 			if match(label) {
 				total += fire * weight(label)
 			}
+			foldedAt(b.ltsTrans, fire)
 			if vp := c.vanPos[b.dst]; vp >= 0 {
 				entry[vp] += fire
 			}

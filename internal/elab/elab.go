@@ -130,6 +130,11 @@ type Model struct {
 	// numRateSlots is the highest rate-slot index appearing in any action
 	// annotation of the description (0 when the model is not parametric).
 	numRateSlots int
+	// quot, when non-nil, marks the model as a compositional quotient: each
+	// instance's behaviour is a reduced block automaton (see Quotient), a
+	// local configuration is LocalConfig{Node: block}, and LocalMoves,
+	// Initial and Describe answer from the precomputed block tables.
+	quot []InstanceQuotient
 }
 
 // Elaborate turns a validated description into an executable composition.
@@ -329,6 +334,12 @@ func (m *Model) InstanceIndex(name string) (int, bool) {
 // Initial returns the initial global state.
 func (m *Model) Initial() State {
 	s := make(State, len(m.insts))
+	if m.quot != nil {
+		for i := range m.quot {
+			s[i] = LocalConfig{Node: m.quot[i].Init}
+		}
+		return s
+	}
 	for i := range m.insts {
 		s[i] = m.insts[i].init
 	}
@@ -374,6 +385,15 @@ func (m *Model) contConfig(cont aemilia.Process, env expr.MapEnv, args []expr.Va
 // configuration in s, before applying the topology.
 func (m *Model) LocalMoves(s State, i int) ([]LocalMove, error) {
 	c := s[i]
+	if m.quot != nil {
+		// Quotient model: the block automaton's move table is precomputed;
+		// the shared slice must not be mutated by callers.
+		q := &m.quot[i]
+		if c.Node < 0 || c.Node >= len(q.Moves) {
+			return nil, fmt.Errorf("elab: block %d out of range for quotient instance %s", c.Node, m.insts[i].name)
+		}
+		return q.Moves[c.Node], nil
+	}
 	env, err := m.env(c)
 	if err != nil {
 		return nil, err

@@ -106,6 +106,12 @@ func (m *Model) Describe(s State) string {
 		if i > 0 {
 			sb.WriteString(", ")
 		}
+		if m.quot != nil {
+			sb.WriteString(m.insts[i].name)
+			sb.WriteByte('=')
+			sb.WriteString(m.quot[i].Descs[c.Node])
+			continue
+		}
 		info := m.nodes[c.Node]
 		sb.WriteString(m.insts[i].name)
 		sb.WriteByte('=')

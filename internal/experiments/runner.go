@@ -103,6 +103,7 @@ func (r *Runner) rpcSession(p models.RPCParams) (*pipeline.Session, error) {
 		Measures: models.RPCMeasures(p),
 		Gen:      r.genOpts(),
 		Solve:    r.solveOpts(),
+		Minimize: r.cfg.Minimize,
 	})
 }
 
@@ -115,5 +116,6 @@ func (r *Runner) streamingSession(p models.StreamingParams) (*pipeline.Session, 
 		Measures: models.StreamingMeasures(p),
 		Gen:      r.genOpts(),
 		Solve:    r.solveOpts(),
+		Minimize: r.cfg.Minimize,
 	})
 }

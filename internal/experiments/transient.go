@@ -36,9 +36,10 @@ func (r *Runner) StreamingStartupTransient(times []float64, awakePeriod float64,
 		gen := r.genOpts()
 		gen.Predicates = []lts.StatePred{{Instance: "B", Action: "miss_frame"}}
 		s, err := r.open(pipeline.Spec{
-			Key:   fmt.Sprintf("streaming:%#v", p),
-			Build: func() (*aemilia.ArchiType, error) { return models.BuildStreaming(p) },
-			Gen:   gen,
+			Key:      fmt.Sprintf("streaming:%#v", p),
+			Build:    func() (*aemilia.ArchiType, error) { return models.BuildStreaming(p) },
+			Gen:      gen,
+			Minimize: r.cfg.Minimize,
 		})
 		if err != nil {
 			return nil, err

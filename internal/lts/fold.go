@@ -1,0 +1,314 @@
+package lts
+
+import (
+	"sort"
+
+	"repro/internal/elab"
+	"repro/internal/rates"
+)
+
+// This file implements vanishing-state folding: the generation-time
+// elimination of states whose immediate actions resolve deterministically
+// in zero time. A successor state with enabled immediate actions is a
+// vanishing state of the eventual chain; ctmc.Build would eliminate it by
+// propagating its maximal-progress branch distribution. Folding performs
+// the same elimination *before* the state is interned, so the composed
+// product never materializes it: each incoming transition is redirected to
+// the absorption targets with its rate scaled by the branch probability
+// (λ·p for exponential rates, w·p for immediate weights — the exact
+// per-column contributions Build would have accumulated).
+//
+// Measures survive folding by construction:
+//   - STATE_REWARD clauses evaluate on tangible states only (vanishing
+//     states carry no sojourn probability), and folding removes only
+//     vanishing states.
+//   - TRANS_REWARD clauses need the firing frequency of observed labels;
+//     a folded path records the expected traversal count of each observed
+//     label on the redirected edge (the Aux column), and ctmc.Throughput
+//     adds flow·count for them.
+//
+// Soundness guards — a successor is kept (interned as usual) instead of
+// folded when:
+//   - it is tangible (no immediate moves): nothing to fold;
+//   - the incoming rate is passive or untimed: scaling a passive weight by
+//     a branch probability would multiply the synchronization
+//     opportunities an active exponential partner sees, changing the
+//     composed rate, and untimed (functional) models have no probabilistic
+//     branch semantics;
+//   - the incoming rate is slotted (symbolic) and the expansion branches:
+//     an LTS edge cannot carry λ(slot)·p with p < 1 in rebindable form
+//     (ctmc keeps such coefficients internally, the LTS schema does not);
+//     linear chains fold even when slotted because every probability is
+//     exactly 1;
+//   - its maximal-priority immediate weights do not sum to a positive
+//     value, or the chain exceeds MaxDepth, or it closes an immediate
+//     cycle (a timeless trap, which ctmc.Build rejects on the full system
+//     too).
+//
+// Expansion is a pure function of the model and the successor state, so
+// the folded system is bit-identical at any worker count, exactly like the
+// unfolded generator.
+
+// auxTerm is one observed-label attribution accumulated during expansion,
+// keyed by label name until the sequential merge interns it.
+type auxTerm struct {
+	label string
+	count float64
+}
+
+// genTransition is one (possibly redirected) transition produced by a
+// worker for the sequential merge.
+type genTransition struct {
+	label string
+	rate  rates.Rate
+	next  elab.State
+	aux   []auxTerm // sorted by label; nil when no attribution
+}
+
+// foldTerm is one absorption target of an expanded vanishing state.
+type foldTerm struct {
+	key     string
+	state   elab.State
+	prob    float64
+	auxLab  []string  // sorted observed labels traversed on the way
+	auxFlow []float64 // parallel: Σ path-probability · traversals
+}
+
+// foldEntry is the memoized expansion verdict for one state.
+type foldEntry struct {
+	// terms is the absorption distribution over kept states; nil means the
+	// state itself is kept (tangible or unfoldable).
+	terms []foldTerm
+	// linear reports that the expansion never branched: every probability
+	// is exactly 1, so slotted rates fold losslessly.
+	linear bool
+}
+
+var keepEntry = &foldEntry{}
+
+// foldMemoLimit bounds a worker's expansion memo; past it the memo is
+// reset (a pure speed/memory trade-off — verdicts are recomputed, never
+// changed).
+const foldMemoLimit = 1 << 21
+
+// foldCtx is one worker's folding state. Contexts are never shared across
+// workers; determinism comes from expansion being a pure function.
+type foldCtx struct {
+	m        *elab.Model
+	observed func(string) bool
+	maxDepth int
+	memo     map[string]*foldEntry
+	onPath   map[string]bool
+	keyBuf   []byte
+}
+
+func newFoldCtx(m *elab.Model, opts *FoldOptions) *foldCtx {
+	depth := opts.MaxDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	obs := opts.Observed
+	if obs == nil {
+		obs = func(string) bool { return false }
+	}
+	return &foldCtx{
+		m:        m,
+		observed: obs,
+		maxDepth: depth,
+		memo:     make(map[string]*foldEntry, 1024),
+		onPath:   make(map[string]bool, 16),
+	}
+}
+
+func (fc *foldCtx) keyOf(s elab.State) string {
+	fc.keyBuf = fc.m.AppendKey(fc.keyBuf[:0], s)
+	return string(fc.keyBuf)
+}
+
+// expandTarget computes the absorption distribution of state v, memoized
+// by state key. A nil-terms entry means "keep v".
+func (fc *foldCtx) expandTarget(v elab.State, key string, depth int) (*foldEntry, error) {
+	if e, ok := fc.memo[key]; ok {
+		return e, nil
+	}
+	if depth > fc.maxDepth {
+		return keepEntry, nil // do not memoize: verdict depends on depth
+	}
+	if fc.onPath[key] {
+		return keepEntry, nil // immediate cycle: keep (timeless trap upstream)
+	}
+	succ, err := fc.m.Successors(v)
+	if err != nil {
+		return nil, err
+	}
+	// Maximal-progress selection, mirroring ctmc.Build: the highest
+	// priority level among immediate moves wins; weights normalize the
+	// remaining choice.
+	maxPrio, hasImm := 0, false
+	for i := range succ {
+		if r := succ[i].Rate; r.Kind == rates.Immediate {
+			if !hasImm || r.Priority > maxPrio {
+				maxPrio = r.Priority
+			}
+			hasImm = true
+		}
+	}
+	if !hasImm {
+		e := keepEntry // tangible
+		if len(fc.memo) >= foldMemoLimit {
+			fc.memo = make(map[string]*foldEntry, 1024)
+		}
+		fc.memo[key] = e
+		return e, nil
+	}
+	total := 0.0
+	for i := range succ {
+		if r := succ[i].Rate; r.Kind == rates.Immediate && r.Priority == maxPrio {
+			total += r.Weight
+		}
+	}
+	if !(total > 0) {
+		fc.memo[key] = keepEntry
+		return keepEntry, nil
+	}
+
+	fc.onPath[key] = true
+	defer delete(fc.onPath, key)
+
+	out := make([]foldTerm, 0, 2)
+	pos := make(map[string]int, 2)
+	// auxAcc accumulates label flows per output term index.
+	var auxAcc []map[string]float64
+	addFlow := func(ti int, label string, flow float64) {
+		for len(auxAcc) <= ti {
+			auxAcc = append(auxAcc, nil)
+		}
+		if auxAcc[ti] == nil {
+			auxAcc[ti] = make(map[string]float64, 2)
+		}
+		auxAcc[ti][label] += flow
+	}
+	addTerm := func(key string, st elab.State, p float64) int {
+		if ti, ok := pos[key]; ok {
+			out[ti].prob += p
+			return ti
+		}
+		ti := len(out)
+		pos[key] = ti
+		out = append(out, foldTerm{key: key, state: st, prob: p})
+		return ti
+	}
+
+	fired := 0
+	linear := true
+	for i := range succ {
+		r := succ[i].Rate
+		if r.Kind != rates.Immediate || r.Priority != maxPrio {
+			continue
+		}
+		fired++
+		p := r.Weight / total
+		lab := succ[i].Label
+		obsLab := fc.observed(lab)
+		tkey := fc.keyOf(succ[i].Next)
+		sub, err := fc.expandTarget(succ[i].Next, tkey, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if sub.terms == nil {
+			ti := addTerm(tkey, succ[i].Next, p)
+			if obsLab {
+				addFlow(ti, lab, p)
+			}
+			continue
+		}
+		if !sub.linear {
+			linear = false
+		}
+		for si := range sub.terms {
+			st := &sub.terms[si]
+			ti := addTerm(st.key, st.state, p*st.prob)
+			if obsLab {
+				addFlow(ti, lab, p*st.prob)
+			}
+			for ai, al := range st.auxLab {
+				addFlow(ti, al, p*st.auxFlow[ai])
+			}
+		}
+	}
+	if fired > 1 {
+		linear = false
+	}
+	// Canonicalize the per-term attributions (sorted by label).
+	for ti := range out {
+		acc := (map[string]float64)(nil)
+		if ti < len(auxAcc) {
+			acc = auxAcc[ti]
+		}
+		if len(acc) == 0 {
+			continue
+		}
+		labs := make([]string, 0, len(acc))
+		for l := range acc {
+			labs = append(labs, l)
+		}
+		sort.Strings(labs)
+		flows := make([]float64, len(labs))
+		for i, l := range labs {
+			flows[i] = acc[l]
+		}
+		out[ti].auxLab, out[ti].auxFlow = labs, flows
+	}
+	e := &foldEntry{terms: out, linear: linear && len(out) == 1}
+	if len(fc.memo) >= foldMemoLimit {
+		fc.memo = make(map[string]*foldEntry, 1024)
+	}
+	fc.memo[key] = e
+	return e, nil
+}
+
+// foldTransitions rewrites one source state's successor list, folding
+// every foldable vanishing target. It returns worker-local transitions for
+// the sequential merge.
+func (fc *foldCtx) foldTransitions(ts []elab.Transition) ([]genTransition, error) {
+	out := make([]genTransition, 0, len(ts))
+	emitOriginal := func(tr *elab.Transition) {
+		out = append(out, genTransition{label: tr.Label, rate: tr.Rate, next: tr.Next})
+	}
+	for i := range ts {
+		tr := &ts[i]
+		r := tr.Rate
+		if r.Kind != rates.Exp && r.Kind != rates.Immediate {
+			emitOriginal(tr)
+			continue
+		}
+		key := fc.keyOf(tr.Next)
+		entry, err := fc.expandTarget(tr.Next, key, 0)
+		if err != nil {
+			return nil, err
+		}
+		if entry.terms == nil || (r.Slot > 0 && !entry.linear) {
+			emitOriginal(tr)
+			continue
+		}
+		for ti := range entry.terms {
+			term := &entry.terms[ti]
+			nr := r
+			switch r.Kind {
+			case rates.Exp:
+				nr.Lambda *= term.prob
+			case rates.Immediate:
+				nr.Weight *= term.prob
+			}
+			var aux []auxTerm
+			if len(term.auxLab) > 0 {
+				aux = make([]auxTerm, len(term.auxLab))
+				for ai, al := range term.auxLab {
+					aux[ai] = auxTerm{label: al, count: term.auxFlow[ai] / term.prob}
+				}
+			}
+			out = append(out, genTransition{label: tr.Label, rate: nr, next: term.state, aux: aux})
+		}
+	}
+	return out, nil
+}

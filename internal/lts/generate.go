@@ -2,7 +2,9 @@ package lts
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -51,6 +53,31 @@ type GenerateOptions struct {
 	// nil context disables polling. Cancellation never perturbs the states
 	// already interned — it only stops the exploration early.
 	Ctx context.Context
+	// Fold enables vanishing-state folding (compositional minimization):
+	// successor states whose maximal-progress immediate branches can be
+	// resolved eagerly are never interned — each incoming transition is
+	// redirected to the branch targets with its rate scaled by the branch
+	// probabilities, exactly the elimination ctmc.Build would perform, so
+	// the tangible chain is unchanged. Transition labels folded away that
+	// the Observed matcher selects are preserved as per-edge reward
+	// attributions (EdgeAux/AuxTerms), keeping every TRANS_REWARD measure
+	// exact. Nil disables folding (the default, bit-identical to previous
+	// releases).
+	Fold *FoldOptions
+}
+
+// FoldOptions tunes vanishing-state folding during generation.
+type FoldOptions struct {
+	// Observed selects the transition labels whose firing frequency must
+	// remain computable on the folded system (the labels named by
+	// TRANS_REWARD measure clauses). Folded transitions with an observed
+	// label are recorded as reward attributions on the redirected edges.
+	// Nil observes nothing.
+	Observed func(label string) bool
+	// MaxDepth bounds the immediate-chain expansion; deeper chains (or
+	// cycles, which ctmc.Build rejects as timeless traps anyway) keep the
+	// intermediate state instead of folding it. 0 uses a default of 1024.
+	MaxDepth int
 }
 
 // TooManyStatesError reports that generation exceeded MaxStates.
@@ -163,6 +190,14 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	var foldCtxs []*foldCtx
+	if opts.Fold != nil {
+		foldCtxs = make([]*foldCtx, workers)
+		for w := range foldCtxs {
+			foldCtxs[w] = newFoldCtx(m, opts.Fold)
+		}
+	}
+
 	in := statespace.NewInterner()
 	var states []elab.State
 	keyBuf := make([]byte, 0, 64)
@@ -192,20 +227,63 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 	l.Initial = 0
 	edges := make([]statespace.Edge, 0, 1024)
 
+	// Attribution pool: folded reward attributions are deduplicated by
+	// their canonical byte signature (label index + count bits per term)
+	// and handed out as 1-based handles. The pool is appended to only
+	// here, inside the sequential merge, so handles are assigned in merge
+	// order — a pure function of the model, like state identifiers.
+	auxStart := []int32{0}
+	var (
+		auxLabel []int32
+		auxCount []float64
+		auxIDs   map[string]int32
+		auxSig   []byte
+		auxLabs  []int32
+	)
+	internAux := func(terms []auxTerm) int32 {
+		if len(terms) == 0 {
+			return 0
+		}
+		auxSig = auxSig[:0]
+		auxLabs = auxLabs[:0]
+		for i := range terms {
+			li := int32(l.syms.Intern(terms[i].label))
+			auxLabs = append(auxLabs, li)
+			auxSig = binary.LittleEndian.AppendUint32(auxSig, uint32(li))
+			auxSig = binary.LittleEndian.AppendUint64(auxSig, math.Float64bits(terms[i].count))
+		}
+		if auxIDs == nil {
+			auxIDs = make(map[string]int32, 64)
+		}
+		if id, ok := auxIDs[string(auxSig)]; ok {
+			return id
+		}
+		auxLabel = append(auxLabel, auxLabs...)
+		for i := range terms {
+			auxCount = append(auxCount, terms[i].count)
+		}
+		auxStart = append(auxStart, int32(len(auxLabel)))
+		id := int32(len(auxStart) - 1)
+		auxIDs[string(auxSig)] = id
+		return id
+	}
+
 	// merge folds the successor list of one source state into the shared
-	// tables, in the source's BFS position — the only place states and
-	// edges are appended.
-	merge := func(qi int, ts []elab.Transition) error {
-		for _, tr := range ts {
-			dst, err := intern(tr.Next)
+	// tables, in the source's BFS position — the only place states, edges
+	// and attributions are appended.
+	merge := func(qi int, ts []genTransition) error {
+		for i := range ts {
+			tr := &ts[i]
+			dst, err := intern(tr.next)
 			if err != nil {
 				return err
 			}
 			edges = append(edges, statespace.Edge{
 				Src:   int32(qi),
 				Dst:   int32(dst),
-				Label: int32(l.syms.Intern(tr.Label)),
-				Rate:  tr.Rate,
+				Label: int32(l.syms.Intern(tr.label)),
+				Aux:   internAux(tr.aux),
+				Rate:  tr.rate,
 			})
 		}
 		return nil
@@ -219,12 +297,25 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 	// crash in the elaborated model's successor code (or an injected fault
 	// keyed by the state's dense identifier) surfaces as an error instead
 	// of taking down the process — on the inline path and the pool alike.
-	expand := func(w, qi int, s elab.State) (ts []elab.Transition, err error) {
+	// With folding enabled the worker also resolves foldable vanishing
+	// targets here, in parallel; folding is a pure function of (model,
+	// state), so the rewritten lists are worker-count independent.
+	expand := func(w, qi int, s elab.State) (ts []genTransition, err error) {
 		err = fault.Guard("lts.generate", w, fmt.Sprintf("state %d", qi), func() error {
 			faultinject.MaybePanic(faultinject.SiteGenerateExpand, qi)
-			var serr error
-			ts, serr = m.Successors(s)
-			return serr
+			raw, serr := m.Successors(s)
+			if serr != nil {
+				return serr
+			}
+			if foldCtxs != nil {
+				ts, serr = foldCtxs[w].foldTransitions(raw)
+				return serr
+			}
+			ts = make([]genTransition, len(raw))
+			for i := range raw {
+				ts[i] = genTransition{label: raw[i].Label, rate: raw[i].Rate, next: raw[i].Next}
+			}
+			return nil
 		})
 		return ts, err
 	}
@@ -255,7 +346,7 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 		// merge in source order. parFor guarantees every source below its
 		// reported failure has a complete buffer, so the merge observes
 		// exactly the prefix a sequential run would have processed.
-		results := make([][]elab.Transition, n)
+		results := make([][]genTransition, n)
 		frontier := states[levelStart:levelEnd]
 		failIdx, failErr := parFor("lts.generate", n, workers, func(w, i int) error {
 			ts, err := expand(w, levelStart+i, frontier[i])
@@ -277,6 +368,10 @@ func Generate(m *elab.Model, opts GenerateOptions) (*LTS, error) {
 	}
 	l.NumStates = len(states)
 	l.setCSR(statespace.Build(l.NumStates, edges))
+	if len(auxStart) > 1 {
+		l.setAuxPool(auxStart, auxLabel, auxCount)
+	}
+	l.SetMemBytes(in.SizeBytes())
 
 	// Descriptions are lazy: the interner's byte arena is the state table,
 	// and a description is decoded from it only when actually requested

@@ -66,6 +66,21 @@ type LTS struct {
 	pending []statespace.Edge
 	sealed  bool
 	descFn  func(int) string
+
+	// Folded reward-attribution pool (compositional minimization): when the
+	// generator folds measure-unobserved vanishing states into their
+	// incoming transitions, each redirected transition may carry the
+	// expected traversal counts of the observed labels on the folded path.
+	// Entry a > 0 of the CSR Aux column indexes this pool; entry 0 means no
+	// attribution. The pool is shared by derived systems (Hide shares the
+	// structural arrays; Restrict remaps the Aux column but reuses the
+	// pool).
+	auxStart []int32 // len = numAux+1; id a occupies auxStart[a-1]..auxStart[a]
+	auxLabel []int32
+	auxCount []float64
+	// memBytes is the extra resident memory attributed to the LTS by its
+	// producer (the generator's interner slab); 0 when unknown.
+	memBytes int
 }
 
 // New creates an empty LTS with a tau label and n states.
@@ -119,9 +134,13 @@ func (l *LTS) unseal() {
 	for s := 0; s < l.NumStates; s++ {
 		lo, hi := l.csr.Row(s)
 		for i := lo; i < hi; i++ {
-			edges = append(edges, statespace.Edge{
+			e := statespace.Edge{
 				Src: int32(s), Dst: l.csr.Dst[i], Label: l.csr.Label[i], Rate: l.csr.Rate[i],
-			})
+			}
+			if l.csr.Aux != nil {
+				e.Aux = l.csr.Aux[i]
+			}
+			edges = append(edges, e)
 		}
 	}
 	l.pending = edges
@@ -176,6 +195,57 @@ func (l *LTS) EdgeLabel(i int) int {
 func (l *LTS) EdgeSlot(i int) int {
 	l.seal()
 	return l.csr.Rate[i].Slot
+}
+
+// EdgeAux returns the reward-attribution handle of the transition at
+// global CSR index i (0 = none); see AuxTerms.
+func (l *LTS) EdgeAux(i int) int {
+	l.seal()
+	if l.csr.Aux == nil {
+		return 0
+	}
+	return int(l.csr.Aux[i])
+}
+
+// AuxTerms returns the folded reward attribution of handle a as parallel
+// label-index and expected-count slices. The slices alias the pool and
+// must not be modified. Handle 0 returns empty slices.
+func (l *LTS) AuxTerms(a int) (labels []int32, counts []float64) {
+	if a <= 0 || l.auxStart == nil {
+		return nil, nil
+	}
+	lo, hi := l.auxStart[a-1], l.auxStart[a]
+	return l.auxLabel[lo:hi], l.auxCount[lo:hi]
+}
+
+// NumAux returns the number of distinct reward-attribution entries.
+func (l *LTS) NumAux() int {
+	if l.auxStart == nil {
+		return 0
+	}
+	return len(l.auxStart) - 1
+}
+
+// setAuxPool installs the attribution pool (generator-side).
+func (l *LTS) setAuxPool(start []int32, label []int32, count []float64) {
+	l.auxStart, l.auxLabel, l.auxCount = start, label, count
+}
+
+// shareAux copies the attribution pool reference from a parent system.
+func (l *LTS) shareAux(p *LTS) {
+	l.auxStart, l.auxLabel, l.auxCount = p.auxStart, p.auxLabel, p.auxCount
+}
+
+// SetMemBytes records extra resident memory attributed to the LTS by its
+// producer (the generator's interned state table).
+func (l *LTS) SetMemBytes(n int) { l.memBytes = n }
+
+// MemStats reports the resident memory of the system's canonical storage:
+// the state-table bytes recorded by the producer (0 when the LTS was not
+// generated), the CSR transition arrays, and the attribution pool.
+func (l *LTS) MemStats() (stateTable, csrBytes, auxBytes int) {
+	l.seal()
+	return l.memBytes, l.csr.SizeBytes(), 4*len(l.auxStart) + 4*len(l.auxLabel) + 8*len(l.auxCount)
 }
 
 // NumRateSlots returns the number of symbolic rate parameters carried by
@@ -304,7 +374,9 @@ func Hide(l *LTS, match func(label string) bool) *LTS {
 		Dst:      l.csr.Dst,
 		Label:    labels,
 		Rate:     l.csr.Rate,
+		Aux:      l.csr.Aux,
 	})
+	out.shareAux(l)
 	return out
 }
 
@@ -365,15 +437,20 @@ func Restrict(l *LTS, match func(label string) bool) *LTS {
 			if !keepLab[l.csr.Label[i]] || remap[l.csr.Dst[i]] < 0 {
 				continue
 			}
-			edges = append(edges, statespace.Edge{
+			e := statespace.Edge{
 				Src:   remap[oldIdx],
 				Dst:   remap[l.csr.Dst[i]],
 				Label: l.csr.Label[i],
 				Rate:  l.csr.Rate[i],
-			})
+			}
+			if l.csr.Aux != nil {
+				e.Aux = l.csr.Aux[i]
+			}
+			edges = append(edges, e)
 		}
 	}
 	out.setCSR(statespace.Build(len(order), edges))
+	out.shareAux(l)
 	return out
 }
 

@@ -102,6 +102,41 @@ func StatePreds(ms []Measure) []lts.StatePred {
 	return out
 }
 
+// TransPreds collects the "Instance.Action" pairs named by TRANS_REWARD
+// clauses of a set of measures, deduplicated: the transition activities an
+// analysis observes through throughputs.
+func TransPreds(ms []Measure) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range ms {
+		for _, c := range m.Clauses {
+			if c.Kind != TransReward {
+				continue
+			}
+			if p := c.Pred(); !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// ObservedMatcher returns a matcher selecting every transition label that
+// involves a TRANS_REWARD predicate of ms — the label set a minimizing
+// generation must keep computable (lts.FoldOptions.Observed).
+func ObservedMatcher(ms []Measure) func(label string) bool {
+	preds := TransPreds(ms)
+	return func(label string) bool {
+		for _, p := range preds {
+			if lts.LabelInvolves(label, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // EvalAll evaluates a set of measures on a solved chain, resolving
 // derived ratio measures against the base values.
 func EvalAll(ms []Measure, c *ctmc.CTMC, pi []float64) (map[string]float64, error) {

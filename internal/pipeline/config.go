@@ -51,6 +51,14 @@ type Config struct {
 	// drivers copy into their specs (the golden tests force a sweep mode
 	// through it). The session itself reads solver options from the Spec.
 	Solve ctmc.SolveOptions
+	// Minimize is the compositional-minimization policy the experiment
+	// drivers copy into their specs (Spec.Minimize): lump each component
+	// before composition and fold vanishing states during generation, so
+	// the full product never materializes. Unlike the scheduling knobs it
+	// is semantic once copied into a Spec — it changes the generated LTS
+	// (never the measure values) and participates in the SpecHash there.
+	// The session itself reads it from the Spec.
+	Minimize bool
 	// CheckpointDir, when non-empty, makes every experiment sweep
 	// resumable: each sweep checkpoints to <dir>/<name>.ckpt and, when
 	// CheckpointResume is set, replays completed points from an existing

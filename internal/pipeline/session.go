@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/compose"
 	"repro/internal/ctmc"
 	"repro/internal/dist"
 	"repro/internal/elab"
@@ -81,6 +82,14 @@ func canceled(err error) bool {
 	return errors.As(err, &ce)
 }
 
+// minimized is the staged artifact of compositional minimization: the
+// quotient model the Markovian path generates from, plus the per-instance
+// reduction statistics for diagnostics.
+type minimized struct {
+	m  *elab.Model
+	st *compose.Stats
+}
+
 // anchorResult is a solved sweep anchor: its report and its steady-state
 // solution, the warm-start seed of every other point of the sweep.
 type anchorResult struct {
@@ -99,6 +108,7 @@ type sessionState struct {
 	hash SpecHash
 
 	model  stage[*elab.Model]
+	minim  stage[minimized]
 	ltsS   stage[*lts.LTS]
 	chain  stage[*ctmc.CTMC]
 	phase2 stage[*Phase2Report]
@@ -201,6 +211,11 @@ func (s *Session) genOptions() lts.GenerateOptions {
 		g.Ctx = s.cfg.Ctx
 	}
 	g.Predicates = append(append([]lts.StatePred(nil), g.Predicates...), measure.StatePreds(s.st.spec.Measures)...)
+	if s.st.spec.Minimize && g.Fold == nil {
+		// The minimizing generation path folds vanishing states eagerly,
+		// observing exactly the labels the TRANS_REWARD measures need.
+		g.Fold = &lts.FoldOptions{Observed: measure.ObservedMatcher(s.st.spec.Measures)}
+	}
 	return g
 }
 
@@ -237,11 +252,58 @@ func (s *Session) Model() (*elab.Model, error) {
 	})
 }
 
+// GenModel returns the model the generation path explores: the full
+// elaborated model, or its compositional quotient when the spec sets
+// Minimize. The quotient is staged like every other artifact (lumped once
+// per session state).
+func (s *Session) GenModel() (*elab.Model, error) {
+	if !s.st.spec.Minimize {
+		return s.Model()
+	}
+	mm, err := s.minimized()
+	if err != nil {
+		return nil, err
+	}
+	return mm.m, nil
+}
+
+// MinimizeStats returns the per-instance reduction statistics of the
+// session's compositional minimization, or nil when the spec does not set
+// Minimize.
+func (s *Session) MinimizeStats() (*compose.Stats, error) {
+	if !s.st.spec.Minimize {
+		return nil, nil
+	}
+	mm, err := s.minimized()
+	if err != nil {
+		return nil, err
+	}
+	return mm.st, nil
+}
+
+// minimized returns the staged quotient model.
+func (s *Session) minimized() (minimized, error) {
+	return s.st.minim.get(s.ctx(), "pipeline.minimize", func() (minimized, error) {
+		m, err := s.Model()
+		if err != nil {
+			return minimized{}, err
+		}
+		g := s.genOptions()
+		qm, st, err := compose.Minimize(m, compose.Options{Preds: g.Predicates})
+		if err != nil {
+			return minimized{}, err
+		}
+		return minimized{m: qm, st: st}, nil
+	})
+}
+
 // LTS returns the session's generated state space, generating it on
 // first use with the spec's options plus the measures' state predicates.
+// With Minimize set, generation runs on the per-component quotient model
+// with vanishing-state folding — the compositional-minimization path.
 func (s *Session) LTS() (*lts.LTS, error) {
 	return s.st.ltsS.get(s.ctx(), "pipeline.generate", func() (*lts.LTS, error) {
-		m, err := s.Model()
+		m, err := s.GenModel()
 		if err != nil {
 			return nil, err
 		}

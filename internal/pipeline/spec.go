@@ -43,7 +43,20 @@ type Spec struct {
 	// Gen tunes state-space generation. GenWorkers and Ctx are
 	// scheduling-only (results are bit-identical at any value) and fall
 	// back to the session Config; they do not participate in the hash.
+	// Gen.Fold is semantic (it changes the generated LTS): its presence
+	// and MaxDepth are hashed, but its Observed matcher is a function and
+	// cannot be — specs that set Fold directly should be session-local.
+	// The supported way to request folding is Minimize, which derives the
+	// matcher canonically from Measures.
 	Gen lts.GenerateOptions
+	// Minimize enables compositional minimization: the session lumps each
+	// component before composition (compose.Minimize, refined against the
+	// Measures' state predicates) and generates with vanishing-state
+	// folding observed through the Measures' TRANS_REWARD labels, so the
+	// full product never materializes. The simulation phase always runs
+	// on the full model — minimization only accelerates the Markovian
+	// path, whose measures it preserves exactly. Semantic: hashed.
+	Minimize bool
 	// Solve tunes the steady-state solver. Workers and Ctx are
 	// scheduling-only and fall back to the session Config; every
 	// result-affecting field (Tolerance, MaxIterations, Sweep,
@@ -69,6 +82,11 @@ func (s Spec) Hash() SpecHash {
 	// Generation: everything that shapes the LTS.
 	hU64(h, uint64(s.Gen.MaxStates))
 	hBool(h, s.Gen.KeepDescriptions)
+	hBool(h, s.Minimize)
+	hBool(h, s.Gen.Fold != nil)
+	if s.Gen.Fold != nil {
+		hU64(h, uint64(s.Gen.Fold.MaxDepth))
+	}
 	hU64(h, uint64(len(s.Gen.Predicates)))
 	for _, p := range s.Gen.Predicates {
 		hStr(h, p.Instance)

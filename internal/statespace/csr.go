@@ -2,6 +2,7 @@ package statespace
 
 import (
 	"sort"
+	"unsafe"
 
 	"repro/internal/rates"
 )
@@ -13,6 +14,11 @@ type Edge struct {
 	Src, Dst int32
 	// Label indexes the pipeline's Symbols table.
 	Label int32
+	// Aux is an opaque per-edge annotation handle (0 = none). The
+	// compositional-minimization generator uses it to key folded reward
+	// attributions; Build carries it into the CSR Aux column only when at
+	// least one edge sets it, so plain systems pay nothing.
+	Aux int32
 	// Rate is the timing annotation.
 	Rate rates.Rate
 }
@@ -29,6 +35,9 @@ type CSR struct {
 	Dst      []int32
 	Label    []int32
 	Rate     []rates.Rate
+	// Aux is the per-edge annotation column (nil when no edge carries
+	// one); parallel to Dst like Label and Rate.
+	Aux []int32
 }
 
 // NumEdges returns the number of stored transitions.
@@ -36,6 +45,14 @@ func (c *CSR) NumEdges() int { return len(c.Dst) }
 
 // Row returns the index range of state s's transitions.
 func (c *CSR) Row(s int) (lo, hi int32) { return c.RowStart[s], c.RowStart[s+1] }
+
+// SizeBytes returns the resident size of the CSR arrays in bytes — the
+// memory the canonical transition storage pins, used by the capacity
+// accounting of `dpmassess lts -stats` / `solve -stats`.
+func (c *CSR) SizeBytes() int {
+	const rateSize = int(unsafe.Sizeof(rates.Rate{}))
+	return 4*(len(c.RowStart)+len(c.Dst)+len(c.Label)+len(c.Aux)) + rateSize*len(c.Rate)
+}
 
 // Build constructs canonical CSR storage over n states from an edge list:
 // edges grouped by source, each row sorted by (label, destination) with
@@ -68,11 +85,24 @@ func Build(n int, edges []Edge) CSR {
 	for s := 1; s <= n; s++ {
 		c.RowStart[s] += c.RowStart[s-1]
 	}
+	hasAux := false
+	for i := range edges {
+		if edges[i].Aux != 0 {
+			hasAux = true
+			break
+		}
+	}
+	if hasAux {
+		c.Aux = make([]int32, len(edges))
+	}
 	for i, p := range perm {
 		e := &edges[p]
 		c.Dst[i] = e.Dst
 		c.Label[i] = e.Label
 		c.Rate[i] = e.Rate
+		if hasAux {
+			c.Aux[i] = e.Aux
+		}
 	}
 	return c
 }

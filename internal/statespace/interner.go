@@ -35,6 +35,14 @@ func NewInterner() *Interner {
 // Len returns the number of interned keys.
 func (in *Interner) Len() int { return len(in.offs) - 1 }
 
+// SizeBytes returns the resident size of the interner in bytes: the key
+// slab plus the offset and hash arrays. This is the state-table memory a
+// generated system pins, surfaced by `dpmassess lts -stats` so the
+// capacity effect of compositional minimization is measurable.
+func (in *Interner) SizeBytes() int {
+	return len(in.slab) + 4*len(in.offs) + 4*len(in.table)
+}
+
 // Bytes returns the stored key of an identifier. The slice aliases the
 // arena and must not be modified.
 func (in *Interner) Bytes(id uint32) []byte {

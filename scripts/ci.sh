@@ -68,10 +68,27 @@ go test -timeout 10m -race -cpu 1,2 \
 echo "== multilevel race smoke (-cpu 1,2) =="
 go test -timeout 10m -race -cpu 1,2 -run 'Multilevel' ./internal/ctmc/
 
+# Compositional-minimization smoke under the race detector at -cpu 1,2:
+# the quotient-vs-full properties — component lumping is deterministic
+# and generation from the quotient is bit-identical at any worker count
+# (TestMinimize* in internal/compose), vanishing-state folding preserves
+# throughputs, attributions, and parametric slots and is bit-identical in
+# parallel (TestFold* in internal/lts), and the minimized experiment
+# suite agrees with the full path within 1e-6 and is bit-identical across
+# worker/lane counts (TestGoldenMinimizeAgreement in
+# internal/experiments). The lumping and folded generation run inside the
+# generation worker pool, so their race coverage is load-bearing.
+echo "== compositional-minimization race smoke (-cpu 1,2) =="
+go test -timeout 10m -race -cpu 1,2 -run 'Minimize|Fold' \
+    ./internal/compose/ ./internal/lts/ ./internal/experiments/
+
 # Benchmark smoke run: one iteration of every benchmark, so a benchmark
 # that no longer compiles or panics fails CI without costing bench time.
+# -short skips only the 10×-buffer composition pair, whose full product
+# is minutes of generation per iteration (scripts/bench_compare.sh -C
+# times it properly).
 echo "== bench smoke =="
-go test -timeout 10m -run '^$' -bench . -benchtime 1x ./...
+go test -timeout 10m -short -run '^$' -bench . -benchtime 1x ./...
 
 # Race smoke of the parallel hot paths at -cpu 1,2: the worker-pooled
 # state-space generation, the Jacobi solver pool (solo and batched), the
@@ -84,8 +101,12 @@ go test -timeout 10m -run '^$' -bench . -benchtime 1x ./...
 # instrumented minutes without new coverage. Of the Multilevel benches,
 # only the multilevel-scheme ε pair runs: the Gauss-Seidel/Jacobi
 # reference sides grind for hundreds of thousands of race-instrumented
-# sweeps to measure work the timing modes already report.
+# sweeps to measure work the timing modes already report. Of the Compose
+# benches, the default-size rpc/streaming pairs run and the 10×-buffer
+# pair stays out — race-instrumenting a multi-minute full-product
+# generation would dominate the job for a path the default sizes already
+# cover.
 echo "== bench race smoke (-cpu 1,2) =="
-scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)|SweepReuse|BatchSolve(RPC|Streaming)Batched|MultilevelEps(Multilevel|BatchedMultilevel)'
+scripts/bench_compare.sh -s -p 'Sequential|Parallel|SteadyState(GaussSeidel|Jacobi)|SweepReuse|BatchSolve(RPC|Streaming)Batched|MultilevelEps(Multilevel|BatchedMultilevel)|Compose(RPC|Streaming)(Full|Minimized)$'
 
 echo "CI OK"
